@@ -1,0 +1,175 @@
+// Benchmarks regenerating every table and figure of the paper (quick-mode
+// trial counts; run `cmd/leakyway run all` for full-scale numbers), plus
+// micro-benchmarks of the simulator substrate.
+package leakyway
+
+import (
+	"io"
+	"testing"
+
+	"leakyway/internal/mem"
+)
+
+// benchExperiment runs one registered experiment per iteration and reports
+// a chosen metric.
+func benchExperiment(b *testing.B, id string, metric string) {
+	b.Helper()
+	ctx := NewExperimentContext(io.Discard)
+	ctx.Quick = true
+	b.ResetTimer()
+	var last float64
+	for i := 0; i < b.N; i++ {
+		r, err := RunExperiment(ctx, id)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if metric != "" {
+			last = r.Metrics[metric]
+		}
+	}
+	if metric != "" {
+		b.ReportMetric(last, metric)
+	}
+}
+
+// One benchmark per paper table/figure.
+
+func BenchmarkTable1(b *testing.B) { benchExperiment(b, "table1", "") }
+func BenchmarkFig1(b *testing.B)   { benchExperiment(b, "fig1", "") }
+func BenchmarkFig2(b *testing.B) {
+	benchExperiment(b, "fig2", "min_prefetched_reload_cycles")
+}
+func BenchmarkFig3(b *testing.B) { benchExperiment(b, "fig3", "order_match_fraction") }
+func BenchmarkFig4(b *testing.B) { benchExperiment(b, "fig4", "stock_dram_fraction") }
+func BenchmarkFig5(b *testing.B) { benchExperiment(b, "fig5", "llc_mean") }
+func BenchmarkFig6(b *testing.B) { benchExperiment(b, "fig6", "state_walk_correct") }
+func BenchmarkFig7(b *testing.B) { benchExperiment(b, "fig7", "pipeline_errors") }
+func BenchmarkFig8(b *testing.B) {
+	benchExperiment(b, "fig8", "skylake/ntpntp_peak_kbps")
+}
+func BenchmarkTable2(b *testing.B) {
+	benchExperiment(b, "table2", "skylake/ntpntp_peak_kbps")
+}
+func BenchmarkFig9(b *testing.B)  { benchExperiment(b, "fig9", "state_walk_correct") }
+func BenchmarkFig10(b *testing.B) { benchExperiment(b, "fig10", "state_walk_correct") }
+func BenchmarkFig11(b *testing.B) {
+	benchExperiment(b, "fig11", "skylake/prep_speedup")
+}
+func BenchmarkFNRate(b *testing.B) {
+	benchExperiment(b, "fnrate", "skylake/prefetchscope_fn_rate")
+}
+func BenchmarkFig12(b *testing.B) {
+	benchExperiment(b, "fig12", "skylake/reload_refresh_mean")
+}
+func BenchmarkTable3(b *testing.B) { benchExperiment(b, "table3", "variant2/flushes") }
+func BenchmarkFig13(b *testing.B) {
+	benchExperiment(b, "fig13", "skylake/time_speedup")
+}
+func BenchmarkCounter(b *testing.B) { benchExperiment(b, "counter", "intel_ratio") }
+func BenchmarkClassic(b *testing.B) {
+	benchExperiment(b, "classic", "flush_reload_mean")
+}
+func BenchmarkDefense(b *testing.B) {
+	benchExperiment(b, "defense", "partition_capacity")
+}
+func BenchmarkNonInclusive(b *testing.B) {
+	benchExperiment(b, "noninclusive", "noninclusive_capacity")
+}
+func BenchmarkSelfSync(b *testing.B) {
+	benchExperiment(b, "selfsync", "quiet_ber")
+}
+func BenchmarkPollution(b *testing.B) {
+	benchExperiment(b, "pollution", "countermeasure_worker_hitrate")
+}
+func BenchmarkNoise(b *testing.B) {
+	benchExperiment(b, "noise", "noise0_raw_ber")
+}
+func BenchmarkResolution(b *testing.B) {
+	benchExperiment(b, "resolution", "scope_median_delay")
+}
+func BenchmarkStealth(b *testing.B) {
+	benchExperiment(b, "stealth", "flush_reload_victim_missfrac")
+}
+func BenchmarkEvsetAlgos(b *testing.B) {
+	benchExperiment(b, "evset-algos", "hugepage_refs")
+}
+func BenchmarkAblateSets(b *testing.B) {
+	benchExperiment(b, "ablate-sets", "two_set_peak")
+}
+func BenchmarkAblateLanes(b *testing.B) {
+	benchExperiment(b, "ablate-lanes", "lanes4_capacity")
+}
+func BenchmarkAblateHWPF(b *testing.B) {
+	benchExperiment(b, "ablate-hwpf", "hwpf_on_ber")
+}
+func BenchmarkAblatePolicy(b *testing.B) {
+	benchExperiment(b, "ablate-policy", "countermeasure_capacity")
+}
+
+// Substrate micro-benchmarks: simulated memory operations per wall-clock
+// second.
+
+func benchOps(b *testing.B, f func(c *Core, buf VAddr, i int)) {
+	b.Helper()
+	m := MustNewMachine(Skylake(), 1<<26, 1)
+	b.ResetTimer()
+	m.Spawn("bench", 0, nil, func(c *Core) {
+		buf := c.Alloc(64 * PageSize)
+		for i := 0; i < b.N; i++ {
+			f(c, buf, i)
+		}
+	})
+	m.Run()
+}
+
+func BenchmarkSimL1Hit(b *testing.B) {
+	benchOps(b, func(c *Core, buf VAddr, i int) {
+		c.Load(buf)
+	})
+}
+
+func BenchmarkSimLoadSpread(b *testing.B) {
+	benchOps(b, func(c *Core, buf VAddr, i int) {
+		c.Load(buf + VAddr((i%4096)*LineSize))
+	})
+}
+
+func BenchmarkSimPrefetchNTA(b *testing.B) {
+	benchOps(b, func(c *Core, buf VAddr, i int) {
+		c.PrefetchNTA(buf + VAddr((i%4096)*LineSize))
+	})
+}
+
+func BenchmarkSimFlushReload(b *testing.B) {
+	benchOps(b, func(c *Core, buf VAddr, i int) {
+		c.Flush(buf)
+		c.Load(buf)
+	})
+}
+
+func BenchmarkSimTimedLoad(b *testing.B) {
+	benchOps(b, func(c *Core, buf VAddr, i int) {
+		c.TimedLoad(buf)
+	})
+}
+
+// BenchmarkChannelBit measures end-to-end simulated covert-channel
+// throughput (simulated bits per wall-clock second).
+func BenchmarkChannelBit(b *testing.B) {
+	plat := Skylake()
+	cfg := DefaultChannelConfig(plat)
+	cfg.Interval = 1500
+	cfg.NoisePeriod = 0
+	bits := b.N
+	if bits < 8 {
+		bits = 8
+	}
+	msg := RandomMessage(bits, 1)
+	m := MustNewMachine(plat, 1<<30, 1)
+	b.ResetTimer()
+	rep, _ := RunNTPNTP(m, cfg, msg)
+	b.StopTimer()
+	b.ReportMetric(rep.CapacityKBps, "sim_KB/s")
+	b.ReportMetric(100*rep.BER, "BER_%")
+	_ = mem.LineSize
+}

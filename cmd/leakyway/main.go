@@ -1,0 +1,103 @@
+// Command leakyway runs the paper-reproduction experiments: every table and
+// figure of "Leaky Way" (MICRO 2022), plus the ablations.
+//
+// Usage:
+//
+//	leakyway list                 # show available experiments
+//	leakyway run fig8 table2      # run specific experiments
+//	leakyway run all              # run the full suite
+//
+// Flags:
+//
+//	-platform skylake|kabylake|both   platforms to simulate (default both)
+//	-seed N                           master seed (default 42)
+//	-quick                            reduced trial counts
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"leakyway"
+)
+
+func main() {
+	platformFlag := flag.String("platform", "both", "platform: skylake, kabylake or both")
+	seed := flag.Int64("seed", 42, "master seed for all stochastic elements")
+	quick := flag.Bool("quick", false, "run with reduced trial counts")
+	flag.Usage = usage
+	flag.Parse()
+
+	args := flag.Args()
+	if len(args) == 0 {
+		usage()
+		os.Exit(2)
+	}
+
+	switch args[0] {
+	case "list":
+		list()
+	case "run":
+		if len(args) < 2 {
+			fmt.Fprintln(os.Stderr, "run: need experiment IDs or 'all'")
+			os.Exit(2)
+		}
+		if err := run(args[1:], *platformFlag, *seed, *quick, os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "unknown command %q\n", args[0])
+		usage()
+		os.Exit(2)
+	}
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `leakyway — reproduction of "Leaky Way" (MICRO 2022)
+
+usage:
+  leakyway [flags] list
+  leakyway [flags] run <experiment>...
+  leakyway [flags] run all
+
+flags:
+`)
+	flag.PrintDefaults()
+}
+
+func list() {
+	fmt.Println("available experiments:")
+	for _, e := range leakyway.Experiments() {
+		fmt.Printf("  %-14s %s\n", e.ID, e.Title)
+	}
+}
+
+func run(ids []string, platformName string, seed int64, quick bool, out io.Writer) error {
+	ctx := leakyway.NewExperimentContext(out)
+	ctx.Seed = seed
+	ctx.Quick = quick
+	switch platformName {
+	case "both", "":
+		// default platforms
+	default:
+		p, ok := leakyway.PlatformByName(platformName)
+		if !ok {
+			return fmt.Errorf("unknown platform %q (want skylake, kabylake or both)", platformName)
+		}
+		ctx.Platforms = []leakyway.Platform{p}
+	}
+
+	if len(ids) == 1 && ids[0] == "all" {
+		_, err := leakyway.RunAllExperiments(ctx)
+		return err
+	}
+	for _, id := range ids {
+		if _, err := leakyway.RunExperiment(ctx, id); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,30 @@
+package main
+
+import (
+	"io"
+	"testing"
+)
+
+func TestRunUnknownExperiment(t *testing.T) {
+	if err := run([]string{"not-an-experiment"}, "both", 1, true, io.Discard); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+func TestRunUnknownPlatform(t *testing.T) {
+	if err := run([]string{"fig1"}, "pentium", 1, true, io.Discard); err == nil {
+		t.Fatal("unknown platform accepted")
+	}
+}
+
+func TestRunSingleExperiment(t *testing.T) {
+	if err := run([]string{"fig1"}, "skylake", 1, true, io.Discard); err != nil {
+		t.Fatalf("fig1 failed: %v", err)
+	}
+}
+
+func TestRunMultipleExperiments(t *testing.T) {
+	if err := run([]string{"table1", "fig1"}, "both", 42, true, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+}

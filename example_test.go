@@ -1,0 +1,55 @@
+package leakyway
+
+import "fmt"
+
+// The Example functions double as runnable documentation: their outputs are
+// deterministic for the seeds used, so `go test` verifies them.
+
+func ExampleRunNTPNTP() {
+	plat := Skylake()
+	cfg := DefaultChannelConfig(plat)
+	cfg.Interval = 2000
+	cfg.NoisePeriod = 0
+
+	m := MustNewMachine(plat, 1<<30, 1)
+	report, received := RunNTPNTP(m, cfg, BytesToBits([]byte("leak")))
+
+	fmt.Printf("%s (%d bit errors)\n", BitsToBytes(received), report.Errors)
+	// Output: leak (0 bit errors)
+}
+
+func ExampleRunKASLR() {
+	res := RunKASLR(Skylake(), KASLRConfig{Slots: 64, Probes: 6}, 7)
+	fmt.Printf("recovered == true slot: %v\n", res.RecoveredSlot == res.TrueSlot)
+	// Output: recovered == true slot: true
+}
+
+func ExampleRunRefresh() {
+	res := RunRefresh(Skylake(), PrefetchRefreshV2, RefreshConfig{Iterations: 64}, 3)
+	fmt.Printf("accuracy: %.0f%%, revert ops: %d flush / %d DRAM / %d LLC\n",
+		100*res.Accuracy, res.Revert.Flushes, res.Revert.DRAMAccesses, res.Revert.LLCAccesses)
+	// Output: accuracy: 100%, revert ops: 1 flush / 1 DRAM / 0 LLC
+}
+
+func ExampleCalibrate() {
+	m := MustNewMachine(Skylake(), 1<<26, 2)
+	m.Spawn("attacker", 0, nil, func(c *Core) {
+		th := Calibrate(c, 48)
+		buf := c.Alloc(PageSize)
+		c.Flush(buf)
+		cold := c.TimedLoad(buf) // DRAM
+		warm := c.TimedLoad(buf) // L1
+		fmt.Printf("cold is miss: %v, warm is miss: %v\n", th.IsMiss(cold), th.IsMiss(warm))
+	})
+	m.Run()
+	// Output: cold is miss: true, warm is miss: false
+}
+
+func ExampleEncodeRepetition() {
+	bits := []bool{true, false}
+	enc := EncodeRepetition(bits, 3)
+	enc[0] = false // one corrupted bit
+	dec := DecodeRepetition(enc, 3)
+	fmt.Println(dec[0], dec[1])
+	// Output: true false
+}

@@ -1,0 +1,64 @@
+// AES key spy: a victim encrypts with a T-table AES implementation whose
+// table lives on a shared library page; a Flush+Reload spy on another core
+// watches which table lines each encryption touches and recovers the high
+// nibble of every key byte by first-round elimination — the classic attack
+// the paper's Section II-C surveys, end to end on the simulator.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"leakyway"
+)
+
+func main() {
+	plat := leakyway.Skylake()
+	m := leakyway.MustNewMachine(plat, 1<<28, 2027)
+	victimAS := m.NewSpace()
+	attackerAS := m.NewSpace()
+
+	key := [16]byte{
+		0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6,
+		0xab, 0xf7, 0x15, 0x88, 0x09, 0xcf, 0x4f, 0x3c, // the FIPS-197 example key
+	}
+
+	v, err := leakyway.NewAESVictim(victimAS, key, 9000, 60_000)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := attackerAS.MapShared(victimAS, v.Table, leakyway.PageSize); err != nil {
+		log.Fatal(err)
+	}
+
+	const encryptions = 150
+	v.Spawn(m, 1, victimAS, 5)
+	obs := leakyway.SpyTTable(m, 0, attackerAS, v, encryptions)
+	m.Run()
+
+	fmt.Printf("observed %d encryptions on %s\n", len(*obs), plat.Name)
+	recovered, err := leakyway.RecoverHighNibbles(*obs)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("\n%-12s %-50s\n", "", "key bytes (high nibble | low nibble unknown)")
+	fmt.Printf("%-12s ", "actual:")
+	for _, b := range key {
+		fmt.Printf("%x_ ", b>>4)
+	}
+	fmt.Printf("\n%-12s ", "recovered:")
+	ok := true
+	for i, b := range recovered {
+		fmt.Printf("%x_ ", b>>4)
+		if b != key[i]&0xF0 {
+			ok = false
+		}
+	}
+	fmt.Println()
+	if ok {
+		fmt.Println("\nall 16 high nibbles recovered — 64 bits of AES key leaked through the cache")
+	} else {
+		fmt.Println("\nrecovery incomplete; increase the number of observed encryptions")
+	}
+}

@@ -1,0 +1,73 @@
+// Covert file transfer on a noisy machine: other processes keep touching
+// the target LLC sets, so the raw channel flips bits. A repetition code (the
+// reliability measure Section IV-B3 of the paper suggests) recovers the
+// payload, trading bandwidth for integrity.
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+
+	"leakyway"
+)
+
+func main() {
+	plat := leakyway.Skylake()
+	payload := []byte("TOP-SECRET: the quick brown fox jumps over the lazy dog 0123456789")
+	bits := leakyway.BytesToBits(payload)
+
+	cfg := leakyway.DefaultChannelConfig(plat)
+	cfg.Interval = 1600
+	cfg.NoisePeriod = 60_000 // a busy co-tenant hammering the target sets
+
+	// Raw transmission first.
+	m, err := leakyway.NewMachine(plat, 1<<30, 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rawReport, rawBits := leakyway.RunNTPNTP(m, cfg, bits)
+	rawErrors := countErrors(bits, rawBits)
+
+	// Now with a 5x repetition code.
+	const k = 5
+	encoded := leakyway.EncodeRepetition(bits, k)
+	m2, err := leakyway.NewMachine(plat, 1<<30, 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	encReport, encBits := leakyway.RunNTPNTP(m2, cfg, encoded)
+	decoded := leakyway.DecodeRepetition(encBits, k)
+	decErrors := countErrors(bits, decoded)
+
+	fmt.Printf("payload: %d bytes, noise period: %d cycles\n\n", len(payload), cfg.NoisePeriod)
+	fmt.Printf("raw channel   : %s\n", rawReport)
+	fmt.Printf("                payload errors: %d bits -> %q\n\n",
+		rawErrors, preview(leakyway.BitsToBytes(rawBits)))
+	fmt.Printf("5x repetition : %s\n", encReport)
+	fmt.Printf("                payload errors after majority vote: %d bits -> %q\n",
+		decErrors, preview(leakyway.BitsToBytes(decoded)))
+
+	if decErrors == 0 && bytes.Equal(leakyway.BitsToBytes(decoded), payload) {
+		fmt.Println("\npayload recovered exactly despite the noise")
+	} else {
+		fmt.Println("\npayload still corrupted — increase the repetition factor")
+	}
+}
+
+func countErrors(want, got []bool) int {
+	n := 0
+	for i := range want {
+		if i < len(got) && want[i] != got[i] {
+			n++
+		}
+	}
+	return n
+}
+
+func preview(b []byte) string {
+	if len(b) > 40 {
+		b = b[:40]
+	}
+	return string(b)
+}

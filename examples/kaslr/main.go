@@ -1,0 +1,56 @@
+// KASLR break: the "kernel" is mapped at one of 512 possible 2 MiB slots,
+// chosen at random. An unprivileged attacker prefetches one address per
+// candidate slot and times it — prefetches don't fault, but their
+// page-table walk runs deeper (and slower) at the slot where the kernel
+// actually lives. This is the prefetch side channel of Gruss et al. that
+// the paper's related-work section surveys.
+package main
+
+import (
+	"fmt"
+
+	"leakyway"
+)
+
+func main() {
+	plat := leakyway.Skylake()
+	cfg := leakyway.KASLRConfig{
+		Slots:      512,
+		SlotBytes:  2 << 20,
+		ImageBytes: 1 << 20,
+		Probes:     8,
+	}
+	res := leakyway.RunKASLR(plat, cfg, 2026)
+
+	fmt.Printf("kernel randomized over %d slots (%d bits of entropy)\n", cfg.Slots, bits(cfg.Slots))
+	fmt.Printf("attacker spent %d timed prefetches\n\n", res.Probes)
+
+	// Show the timing landscape around the recovered slot.
+	lo := res.RecoveredSlot - 3
+	if lo < 0 {
+		lo = 0
+	}
+	fmt.Println("slot   mean prefetch time")
+	for s := lo; s < lo+7 && s < cfg.Slots; s++ {
+		marker := ""
+		if s == res.RecoveredSlot {
+			marker = "  <-- recovered"
+		}
+		fmt.Printf("%4d   %7.1f cycles%s\n", s, res.SlotMeans[s], marker)
+	}
+
+	fmt.Printf("\ntrue slot: %d, recovered: %d\n", res.TrueSlot, res.RecoveredSlot)
+	if res.TrueSlot == res.RecoveredSlot {
+		fmt.Println("KASLR defeated: the kernel base leaked through prefetch timing alone")
+	} else {
+		fmt.Println("recovery failed — increase Probes")
+	}
+}
+
+func bits(n int) int {
+	b := 0
+	for 1<<b < n {
+		b++
+	}
+	return b
+}

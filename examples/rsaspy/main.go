@@ -1,0 +1,59 @@
+// RSA exponent spy: a victim runs a square-and-multiply modular
+// exponentiation whose multiply routine occupies one cache line; the
+// attacker, on another core and sharing nothing, monitors the line's LLC
+// set with Prime+Prefetch+Scope (Section V-A) and reads the secret exponent
+// off the detection timeline — one bit per iteration window.
+package main
+
+import (
+	"fmt"
+	"math/rand"
+
+	"leakyway"
+)
+
+func main() {
+	plat := leakyway.Skylake()
+	m := leakyway.MustNewMachine(plat, 1<<29, 404)
+	victimAS := m.NewSpace()
+	attackerAS := m.NewSpace()
+
+	// A 128-bit secret exponent.
+	exponent := make([]bool, 128)
+	rng := rand.New(rand.NewSource(77))
+	for i := range exponent {
+		exponent[i] = rng.Intn(2) == 1
+	}
+
+	v, err := leakyway.NewExponentVictim(victimAS, exponent, 6000, 60_000)
+	if err != nil {
+		panic(err)
+	}
+	v.Spawn(m, 1, victimAS)
+	recovered := leakyway.SpyExponent(m, 0, attackerAS, v, victimAS)
+	m.Run()
+
+	fmt.Printf("secret   : %s\n", bitstring(exponent))
+	fmt.Printf("recovered: %s\n", bitstring(*recovered))
+	wrong := 0
+	for i := range exponent {
+		if i >= len(*recovered) || (*recovered)[i] != exponent[i] {
+			wrong++
+		}
+	}
+	fmt.Printf("\n%d/%d bits correct — the exponent leaked through one LLC set,\n",
+		len(exponent)-wrong, len(exponent))
+	fmt.Println("re-armed between windows by the paper's 31-reference NTA preparation")
+}
+
+func bitstring(bits []bool) string {
+	out := make([]byte, len(bits))
+	for i, b := range bits {
+		if b {
+			out[i] = '1'
+		} else {
+			out[i] = '0'
+		}
+	}
+	return string(out)
+}

@@ -1,0 +1,63 @@
+// Spy: recover a victim's secret-dependent access pattern with
+// Prefetch+Refresh (Section V-B). The victim shares one line with the
+// attacker (a shared library page); in every monitoring window it touches
+// the line iff the current secret bit is 1 — the access shape of a
+// square-and-multiply loop. The attacker watches the line's replacement age
+// without ever letting the victim observe a miss.
+package main
+
+import (
+	"fmt"
+
+	"leakyway"
+)
+
+func main() {
+	plat := leakyway.Skylake()
+
+	fmt.Println("running Prefetch+Refresh v2 against a windowed victim on", plat.Name)
+	res := leakyway.RunRefresh(plat, leakyway.PrefetchRefreshV2, leakyway.RefreshConfig{
+		Iterations: 256,
+		Window:     5000,
+	}, 99)
+
+	recovered := make([]byte, 0, len(res.Detected))
+	truth := make([]byte, 0, len(res.Truth))
+	for i := range res.Detected {
+		recovered = append(recovered, bitc(res.Detected[i]))
+		truth = append(truth, bitc(res.Truth[i]))
+	}
+
+	fmt.Printf("\nvictim pattern (first 64 windows): %s\n", truth[:64])
+	fmt.Printf("recovered bits (first 64 windows): %s\n", recovered[:64])
+	fmt.Printf("\naccuracy over %d windows: %.2f%%\n", len(res.Truth), 100*res.Accuracy)
+	fmt.Printf("attacker cost per window: %d ops (%d flush, %d DRAM, %d LLC to revert)\n",
+		len(res.IterLatencies), res.Revert.Flushes, res.Revert.DRAMAccesses, res.Revert.LLCAccesses)
+
+	// Contrast with the original Reload+Refresh cost.
+	rr := leakyway.RunRefresh(plat, leakyway.ReloadRefresh, leakyway.RefreshConfig{
+		Iterations: 256,
+		Window:     5000,
+	}, 99)
+	fmt.Printf("\nmean attacker latency per window:\n")
+	fmt.Printf("  Reload+Refresh      : %.0f cycles\n", mean(rr.IterLatencies))
+	fmt.Printf("  Prefetch+Refresh v2 : %.0f cycles  (the PREFETCHNTA advantage)\n", mean(res.IterLatencies))
+}
+
+func bitc(b bool) byte {
+	if b {
+		return '1'
+	}
+	return '0'
+}
+
+func mean(xs []int64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += float64(x)
+	}
+	return s / float64(len(xs))
+}

@@ -1,0 +1,3 @@
+module leakyway
+
+go 1.22

@@ -1,0 +1,94 @@
+package attack
+
+import (
+	"leakyway/internal/core"
+	"leakyway/internal/hier"
+	"leakyway/internal/mem"
+	"leakyway/internal/sim"
+)
+
+// CoherenceResult reports a coherence-state attack run (Yao et al., the
+// paper's reference [67]): the attacker detects the victim's *writes* to a
+// shared line purely from load timing — a write invalidates the attacker's
+// private copy and leaves the line Modified remotely, so the attacker's
+// next load misses its L1 and pays the cache-to-cache forwarding penalty.
+// No flushes and no LLC evictions: stealthier than Flush+Reload and
+// invisible to eviction-based detectors.
+type CoherenceResult struct {
+	// IterLatencies is the attacker's per-window cost.
+	IterLatencies []int64
+	// Truth and Detected are per-window ground truth (victim wrote) and
+	// verdicts.
+	Truth, Detected []bool
+	// Accuracy is the fraction classified correctly.
+	Accuracy float64
+}
+
+// RunCoherence mounts the write-detection attack against a windowed victim
+// that stores to the shared line in '1' windows.
+func RunCoherence(platformCfg hier.Config, cfg ClassicConfig, seed int64) CoherenceResult {
+	if cfg.Iterations <= 0 {
+		cfg.Iterations = 1000
+	}
+	if cfg.Window <= 0 {
+		cfg.Window = 5000
+	}
+	m := sim.MustNewMachine(platformCfg, 1<<30, seed)
+	attackerAS := m.NewSpace()
+	victimAS := m.NewSpace()
+
+	dt, err := attackerAS.Alloc(mem.PageSize)
+	if err != nil {
+		panic(err)
+	}
+	if err := victimAS.MapShared(attackerAS, dt, mem.PageSize); err != nil {
+		panic(err)
+	}
+
+	const start = int64(50_000)
+	pattern := make([]bool, 64)
+	rng := newXorshift(uint64(seed)*5 + 11)
+	for i := range pattern {
+		pattern[i] = rng.next()&1 == 1
+	}
+	m.SpawnDaemon("victim", 1, victimAS, func(c *sim.Core) {
+		for i := 0; ; i++ {
+			c.WaitUntil(start + int64(i)*cfg.Window + cfg.Window/2)
+			if pattern[i%len(pattern)] {
+				c.Store(dt)
+			}
+		}
+	})
+
+	res := CoherenceResult{}
+	res.Truth = make([]bool, cfg.Iterations)
+	res.Detected = make([]bool, cfg.Iterations)
+	for i := range res.Truth {
+		res.Truth[i] = pattern[i%len(pattern)]
+	}
+
+	m.Spawn("attacker", 0, attackerAS, func(c *sim.Core) {
+		th := core.Calibrate(c, 48)
+		c.Load(dt) // take a private copy before the epoch
+		for it := 0; it < cfg.Iterations; it++ {
+			c.WaitUntil(start + int64(it+1)*cfg.Window)
+			t0 := c.Now()
+			// A write invalidated our copy: the reload leaves the
+			// L1-hit band (LLC + forwarding penalty). No write: our
+			// private copy is untouched and the load is an L1 hit.
+			t := c.TimedLoad(dt)
+			res.Detected[it] = t > th.L1Threshold
+			res.IterLatencies = append(res.IterLatencies, c.Now()-t0)
+		}
+	})
+	m.Run()
+
+	correct := 0
+	for i := range res.Truth {
+		if res.Truth[i] == res.Detected[i] {
+			correct++
+		}
+	}
+	res.Accuracy = float64(correct) / float64(len(res.Truth))
+	return res
+}

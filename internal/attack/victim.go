@@ -1,0 +1,73 @@
+// Package attack implements the paper's replacement-state side channels and
+// their PREFETCHNTA-accelerated variants: Prime+Scope vs
+// Prime+Prefetch+Scope (Section V-A, Listings 1-2, Figure 11, and the
+// false-negative experiment), and Reload+Refresh vs Prefetch+Refresh v1/v2
+// (Section V-B, Figures 9, 10, 12, Table III).
+package attack
+
+import (
+	"leakyway/internal/hier"
+	"leakyway/internal/mem"
+	"leakyway/internal/sim"
+)
+
+// PeriodicVictim is the ground-truth generator of the Section V-A3
+// experiment: like the paper's thread T1, it accesses a predetermined
+// address every Period cycles and records when. Accesses that hit the
+// victim's own private cache neither reach the LLC nor disturb it; an
+// access becomes an observable LLC event exactly when the attacker's
+// priming has previously evicted the line (back-invalidation), which is
+// what the scope attacks detect.
+type PeriodicVictim struct {
+	// Target is the victim's line (victim address space).
+	Target mem.VAddr
+	// Period is the access period in cycles (1.5K in the paper).
+	Period int64
+	// Accesses records the completion time of every access that reached
+	// the LLC (an LLC fill — the observable events).
+	Accesses []int64
+	// Total counts all accesses including private-cache hits.
+	Total int
+}
+
+// SpawnPeriodicVictim stages and starts the victim daemon on the given core.
+// The returned struct's fields are populated as the machine runs.
+func SpawnPeriodicVictim(m *sim.Machine, coreID int, as *mem.AddressSpace, target mem.VAddr, period int64) *PeriodicVictim {
+	v := &PeriodicVictim{Target: target, Period: period}
+	m.SpawnDaemon("victim", coreID, as, func(c *sim.Core) {
+		for i := int64(1); ; i++ {
+			c.WaitUntil(i * period)
+			res := c.Load(target)
+			v.Total++
+			if res.Level == hier.LevelMem { // an LLC fill: the observable event
+				v.Accesses = append(v.Accesses, c.Now())
+			}
+		}
+	})
+	return v
+}
+
+// WindowedVictim drives the Reload+Refresh experiments: in window i it
+// accesses the shared line iff Pattern[i%len] is true. The pattern itself is
+// the ground truth; the attacker's per-iteration flush+reload of the shared
+// line keeps it out of the victim's private cache, so every access is an
+// LLC hit that updates the line's replacement age.
+type WindowedVictim struct {
+	Target  mem.VAddr
+	Window  int64
+	Start   int64
+	Pattern []bool
+}
+
+// SpawnWindowedVictim starts the victim daemon. Window i begins at
+// Start+i*Window and the access (if any) lands mid-window.
+func SpawnWindowedVictim(m *sim.Machine, coreID int, as *mem.AddressSpace, v WindowedVictim) {
+	m.SpawnDaemon("victim", coreID, as, func(c *sim.Core) {
+		for i := 0; ; i++ {
+			c.WaitUntil(v.Start + int64(i)*v.Window + v.Window/2)
+			if v.Pattern[i%len(v.Pattern)] {
+				c.Load(v.Target)
+			}
+		}
+	})
+}

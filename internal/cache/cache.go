@@ -1,0 +1,272 @@
+// Package cache implements a generic set-associative cache with pluggable
+// replacement policy and per-line in-flight (MSHR) windows. It knows nothing
+// about levels or inclusion; package hier composes caches into the Intel
+// hierarchy the paper targets.
+package cache
+
+import (
+	"fmt"
+
+	"leakyway/internal/mem"
+	"leakyway/internal/policy"
+)
+
+// CohState is a private-cache line's coherence state (MESI without the
+// I — invalid lines are simply not Valid).
+type CohState uint8
+
+// Coherence states.
+const (
+	CohShared CohState = iota
+	CohExclusive
+	CohModified
+)
+
+// String implements fmt.Stringer.
+func (s CohState) String() string {
+	switch s {
+	case CohShared:
+		return "S"
+	case CohExclusive:
+		return "E"
+	case CohModified:
+		return "M"
+	}
+	return "?"
+}
+
+// Line is one cache way's contents.
+type Line struct {
+	Addr  mem.LineAddr
+	Valid bool
+	Dirty bool
+	// Coh is the coherence state; meaningful only in private caches.
+	Coh CohState
+	// InFlightUntil is the cycle at which the fill that installed this
+	// line completes. Until then the line cannot be evicted — the paper
+	// relies on this to explain why a single-set NTP+NTP channel must
+	// space out its prefetches (Section IV-B2).
+	InFlightUntil int64
+}
+
+// set pairs the data array with the policy state.
+type set struct {
+	lines []Line
+	state policy.SetState
+}
+
+// Config describes one cache.
+type Config struct {
+	Name string
+	Sets int
+	Ways int
+	Pol  policy.Policy
+}
+
+// Stats counts cache events for diagnostics and experiments.
+type Stats struct {
+	Hits      uint64
+	Misses    uint64
+	Evictions uint64
+	Fills     uint64
+	Flushes   uint64
+}
+
+// Cache is a single set-associative cache array.
+type Cache struct {
+	cfg   Config
+	sets  []set
+	stats Stats
+}
+
+// New builds the cache.
+func New(cfg Config) *Cache {
+	if cfg.Sets <= 0 || cfg.Ways <= 0 {
+		panic(fmt.Sprintf("cache %q: sets=%d ways=%d must be positive", cfg.Name, cfg.Sets, cfg.Ways))
+	}
+	c := &Cache{cfg: cfg, sets: make([]set, cfg.Sets)}
+	for i := range c.sets {
+		c.sets[i] = set{
+			lines: make([]Line, cfg.Ways),
+			state: cfg.Pol.NewSet(cfg.Ways),
+		}
+	}
+	return c
+}
+
+// Name returns the configured name.
+func (c *Cache) Name() string { return c.cfg.Name }
+
+// Sets returns the number of sets.
+func (c *Cache) Sets() int { return c.cfg.Sets }
+
+// Ways returns the associativity.
+func (c *Cache) Ways() int { return c.cfg.Ways }
+
+// Stats returns a copy of the event counters.
+func (c *Cache) Stats() Stats { return c.stats }
+
+// ResetStats zeroes the event counters.
+func (c *Cache) ResetStats() { c.stats = Stats{} }
+
+// Probe looks a line up without touching replacement state. It returns the
+// way index and whether the line is present.
+func (c *Cache) Probe(setIdx int, la mem.LineAddr) (way int, ok bool) {
+	s := &c.sets[setIdx]
+	for w := range s.lines {
+		if s.lines[w].Valid && s.lines[w].Addr == la {
+			return w, true
+		}
+	}
+	return -1, false
+}
+
+// Touch records a hit of the given class on a line previously found with
+// Probe, updating replacement state.
+func (c *Cache) Touch(setIdx, way int, cls policy.AccessClass) {
+	c.stats.Hits++
+	c.sets[setIdx].state.OnHit(way, cls)
+}
+
+// MarkDirty flags the line as modified.
+func (c *Cache) MarkDirty(setIdx, way int) { c.sets[setIdx].lines[way].Dirty = true }
+
+// Coh returns the line's coherence state.
+func (c *Cache) Coh(setIdx, way int) CohState { return c.sets[setIdx].lines[way].Coh }
+
+// SetCoh updates the line's coherence state.
+func (c *Cache) SetCoh(setIdx, way int, s CohState) { c.sets[setIdx].lines[way].Coh = s }
+
+// Evicted describes a line displaced by Fill.
+type Evicted struct {
+	Addr  mem.LineAddr
+	Dirty bool
+}
+
+// Fill installs la into the given set with the given access class at time
+// now; the fill completes (and the line becomes evictable) at readyAt.
+//
+// It prefers an invalid way; otherwise it asks the policy for a victim,
+// skipping ways whose fills are still in flight at time now. The displaced
+// line, if any, is returned. ok is false when every way is in flight and
+// nothing can be replaced — the caller treats the fill as dropped, which is
+// how the paper describes conflicting in-flight prefetches behaving.
+func (c *Cache) Fill(setIdx int, la mem.LineAddr, cls policy.AccessClass, now, readyAt int64) (ev Evicted, evicted, ok bool) {
+	return c.FillRestricted(setIdx, la, cls, now, readyAt, nil)
+}
+
+// FillRestricted is Fill with an optional way restriction: when allowed is
+// non-nil, only permitted ways may receive the line or be evicted. This is
+// the mechanism behind way-partitioned (isolation) LLC defenses: a security
+// domain's fills can never displace another domain's lines.
+func (c *Cache) FillRestricted(setIdx int, la mem.LineAddr, cls policy.AccessClass, now, readyAt int64, allowed func(way int) bool) (ev Evicted, evicted, ok bool) {
+	s := &c.sets[setIdx]
+	if w, present := c.Probe(setIdx, la); present {
+		// Already present (racing fills): treat as a hit refresh.
+		s.state.OnHit(w, cls)
+		return Evicted{}, false, true
+	}
+	way := -1
+	for w := range s.lines {
+		if !s.lines[w].Valid && (allowed == nil || allowed(w)) {
+			way = w
+			break
+		}
+	}
+	if way < 0 {
+		way = s.state.Victim(func(w int) bool {
+			if s.lines[w].InFlightUntil > now {
+				return false
+			}
+			return allowed == nil || allowed(w)
+		})
+		if way < 0 {
+			return Evicted{}, false, false
+		}
+		ev = Evicted{Addr: s.lines[way].Addr, Dirty: s.lines[way].Dirty}
+		evicted = true
+		c.stats.Evictions++
+		s.state.OnInvalidate(way)
+	}
+	s.lines[way] = Line{Addr: la, Valid: true, InFlightUntil: readyAt}
+	s.state.OnFill(way, cls)
+	c.stats.Fills++
+	return ev, evicted, true
+}
+
+// Invalidate removes la from the set if present (flush or back-invalidation)
+// and reports whether it was present and dirty.
+func (c *Cache) Invalidate(setIdx int, la mem.LineAddr) (present, dirty bool) {
+	s := &c.sets[setIdx]
+	w, ok := c.Probe(setIdx, la)
+	if !ok {
+		return false, false
+	}
+	dirty = s.lines[w].Dirty
+	s.lines[w] = Line{}
+	s.state.OnInvalidate(w)
+	c.stats.Flushes++
+	return true, dirty
+}
+
+// View returns a copy of the set's lines plus the policy snapshot, for
+// tracing and assertions. The two slices are index-aligned.
+type View struct {
+	Lines []Line
+	Meta  []int
+}
+
+// ViewSet captures the current contents of one set.
+func (c *Cache) ViewSet(setIdx int) View {
+	s := &c.sets[setIdx]
+	v := View{Lines: make([]Line, len(s.lines)), Meta: s.state.Snapshot()}
+	copy(v.Lines, s.lines)
+	return v
+}
+
+// Occupancy returns how many valid lines the set holds.
+func (c *Cache) Occupancy(setIdx int) int {
+	n := 0
+	for _, l := range c.sets[setIdx].lines {
+		if l.Valid {
+			n++
+		}
+	}
+	return n
+}
+
+// EvictionCandidate reports which line the policy would evict right now
+// (ignoring in-flight restrictions) without mutating any policy state: it
+// reads the metadata snapshot and applies the age-based scan rule directly
+// (first valid way holding the maximum age/rank), which matches the
+// quad-age and RRIP policies' behaviour after their aging passes.
+func (c *Cache) EvictionCandidate(setIdx int) (mem.LineAddr, bool) {
+	s := &c.sets[setIdx]
+	meta := s.state.Snapshot()
+	maxAge := -1
+	for _, m := range meta {
+		if m > maxAge {
+			maxAge = m
+		}
+	}
+	if maxAge < 0 {
+		return 0, false
+	}
+	for w, m := range meta {
+		if m == maxAge && s.lines[w].Valid {
+			return s.lines[w].Addr, true
+		}
+	}
+	return 0, false
+}
+
+// Lookup is Probe + Touch for the common hit path; it reports whether the
+// access hit.
+func (c *Cache) Lookup(setIdx int, la mem.LineAddr, cls policy.AccessClass) bool {
+	if w, ok := c.Probe(setIdx, la); ok {
+		c.Touch(setIdx, w, cls)
+		return true
+	}
+	c.stats.Misses++
+	return false
+}

@@ -1,0 +1,95 @@
+package channel
+
+import (
+	"bytes"
+	"testing"
+)
+
+// Native fuzz targets; their seed corpora run as ordinary unit tests under
+// `go test` and can be expanded with `go test -fuzz`.
+
+func FuzzBitsBytesRoundTrip(f *testing.F) {
+	f.Add([]byte("leaky way"))
+	f.Add([]byte{})
+	f.Add([]byte{0x00, 0xFF, 0xA5})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got := BitsToBytes(BytesToBits(data))
+		if !bytes.Equal(got, data) {
+			t.Fatalf("round trip: %x -> %x", data, got)
+		}
+	})
+}
+
+func FuzzHammingRoundTrip(f *testing.F) {
+	f.Add([]byte("payload"), uint8(0))
+	f.Add([]byte{0xFF}, uint8(3))
+	f.Fuzz(func(t *testing.T, data []byte, flip uint8) {
+		bits := BytesToBits(data)
+		enc := EncodeHamming74(bits)
+		// Flip at most one bit per codeword, position flip%7.
+		for i := 0; i+7 <= len(enc); i += 7 {
+			enc[i+int(flip)%7] = !enc[i+int(flip)%7]
+		}
+		dec := DecodeHamming74(enc)
+		if len(dec) < len(bits) {
+			t.Fatalf("decoded %d bits, want >= %d", len(dec), len(bits))
+		}
+		for i := range bits {
+			if dec[i] != bits[i] {
+				t.Fatalf("bit %d not corrected", i)
+			}
+		}
+	})
+}
+
+func FuzzRepetitionMajority(f *testing.F) {
+	f.Add([]byte{0xAA}, uint8(5))
+	f.Fuzz(func(t *testing.T, data []byte, k uint8) {
+		rep := int(k%7) + 1
+		bits := BytesToBits(data)
+		enc := EncodeRepetition(bits, rep)
+		dec := DecodeRepetition(enc, rep)
+		if len(dec) != len(bits) {
+			t.Fatalf("length %d, want %d", len(dec), len(bits))
+		}
+		for i := range bits {
+			if dec[i] != bits[i] {
+				t.Fatalf("bit %d corrupted without noise", i)
+			}
+		}
+	})
+}
+
+func FuzzMedianGap(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4})
+	f.Fuzz(func(t *testing.T, deltas []byte) {
+		ts := make([]int64, 0, len(deltas)+1)
+		cur := int64(0)
+		ts = append(ts, cur)
+		for _, d := range deltas {
+			cur += int64(d) + 1
+			ts = append(ts, cur)
+		}
+		got := medianGap(ts)
+		if len(ts) < 2 {
+			if got != 0 {
+				t.Fatalf("medianGap of short input = %d", got)
+			}
+			return
+		}
+		// The median gap is bounded by the min and max gap.
+		minG, maxG := int64(1<<62), int64(0)
+		for i := 1; i < len(ts); i++ {
+			g := ts[i] - ts[i-1]
+			if g < minG {
+				minG = g
+			}
+			if g > maxG {
+				maxG = g
+			}
+		}
+		if got < minG || got > maxG {
+			t.Fatalf("median %d outside [%d,%d]", got, minG, maxG)
+		}
+	})
+}

@@ -1,0 +1,89 @@
+package channel
+
+import (
+	"fmt"
+
+	"leakyway/internal/core"
+	"leakyway/internal/sim"
+)
+
+// RunNTPNTPLanes is the multi-lane extension of the NTP+NTP channel: L
+// independent two-set pipelines (2L target sets in total) each carry one bit
+// per iteration, so L bits move per interval. The paper stops at one lane
+// (two sets); extra lanes trade per-iteration work for aggregate bandwidth
+// until the receiver's probing saturates the interval.
+func RunNTPNTPLanes(m *sim.Machine, cfg Config, lanes int, msg []bool) (Report, []bool) {
+	if lanes <= 0 {
+		lanes = 1
+	}
+	sets := 2 * lanes
+	ep, err := Setup(m, sets, 0)
+	if err != nil {
+		panic(err)
+	}
+	interval := cfg.Interval
+	n := len(msg)
+	received := make([]bool, n)
+	var th core.Thresholds
+
+	// Lane l uses sets 2l and 2l+1, alternating per iteration; bit index
+	// = iteration*lanes + lane.
+	setFor := func(i, lane int) int { return 2*lane + i%2 }
+
+	m.Spawn("sender", 0, ep.SenderAS, func(c *sim.Core) {
+		iters := (n + lanes - 1) / lanes
+		for i := 0; i < iters; i++ {
+			c.WaitUntil(cfg.Start + int64(i)*interval + cfg.SenderOffset)
+			for l := 0; l < lanes; l++ {
+				bit := i*lanes + l
+				if bit < n && msg[bit] {
+					c.PrefetchNTA(ep.DS[setFor(i, l)])
+				}
+			}
+			c.Spin(cfg.ProtocolOverhead)
+		}
+	})
+
+	m.Spawn("receiver", 1, ep.ReceiverAS, func(c *sim.Core) {
+		th = core.Calibrate(c, 48)
+		for s := 0; s < sets; s++ {
+			for _, va := range ep.Filler[s] {
+				c.Load(va)
+			}
+		}
+		for _, dr := range ep.DR {
+			c.PrefetchNTA(dr)
+		}
+		iters := (n + lanes - 1) / lanes
+		for i := 0; i < iters; i++ {
+			// Read iteration i's bits one iteration later (Figure 7).
+			c.WaitUntil(cfg.Start + int64(i+1)*interval + cfg.ReceiverOffset)
+			for l := 0; l < lanes; l++ {
+				bit := i*lanes + l
+				if bit >= n {
+					break
+				}
+				t := c.TimedPrefetchNTA(ep.DR[setFor(i, l)])
+				received[bit] = th.IsMiss(t)
+			}
+			c.Spin(cfg.ProtocolOverhead)
+		}
+	})
+
+	spawnNoise(m, cfg, ep, 2)
+	m.Run()
+
+	rep := Report{
+		Channel:  fmt.Sprintf("NTP+NTP x%d", lanes),
+		Platform: m.H.Config().Name,
+		Bits:     n,
+		Interval: interval,
+	}
+	for i := range msg {
+		if received[i] != msg[i] {
+			rep.Errors++
+		}
+	}
+	finishReport(&rep, m.H.Config().FreqGHz, float64(lanes))
+	return rep, received
+}

@@ -1,0 +1,64 @@
+package channel
+
+import (
+	"testing"
+
+	"leakyway/internal/platform"
+	"leakyway/internal/sim"
+)
+
+func TestLanesNoiselessIsPerfect(t *testing.T) {
+	cfgp := platform.Skylake()
+	cfg := DefaultConfig(cfgp.Name, cfgp.FreqGHz)
+	cfg.Interval = 3200
+	cfg.NoisePeriod = 0
+	msg := RandomMessage(600, 41)
+	m := sim.MustNewMachine(cfgp, 1<<30, 4)
+	rep, recv := RunNTPNTPLanes(m, cfg, 4, msg)
+	if rep.Errors != 0 {
+		t.Fatalf("4-lane channel had %d/%d errors", rep.Errors, rep.Bits)
+	}
+	for i := range msg {
+		if recv[i] != msg[i] {
+			t.Fatalf("bit %d mismatch", i)
+		}
+	}
+	// Raw rate must reflect 4 bits per interval.
+	single := DefaultConfig(cfgp.Name, cfgp.FreqGHz)
+	single.Interval = 3200
+	single.NoisePeriod = 0
+	m2 := sim.MustNewMachine(cfgp, 1<<30, 4)
+	rep1, _ := RunNTPNTPLanes(m2, single, 1, msg)
+	if rep.RawRateKBps < 3.9*rep1.RawRateKBps {
+		t.Fatalf("4-lane raw rate %.1f not ≈4x single-lane %.1f", rep.RawRateKBps, rep1.RawRateKBps)
+	}
+}
+
+func TestLanesDefaultsToOne(t *testing.T) {
+	cfgp := platform.Skylake()
+	cfg := DefaultConfig(cfgp.Name, cfgp.FreqGHz)
+	cfg.Interval = 2000
+	cfg.NoisePeriod = 0
+	msg := RandomMessage(100, 42)
+	m := sim.MustNewMachine(cfgp, 1<<30, 5)
+	rep, _ := RunNTPNTPLanes(m, cfg, 0, msg)
+	if rep.Errors != 0 {
+		t.Fatalf("lanes=0 fallback had %d errors", rep.Errors)
+	}
+	if rep.Channel != "NTP+NTP x1" {
+		t.Fatalf("channel name %q", rep.Channel)
+	}
+}
+
+func TestLanesOverloadCollapses(t *testing.T) {
+	cfgp := platform.Skylake()
+	cfg := DefaultConfig(cfgp.Name, cfgp.FreqGHz)
+	cfg.Interval = 1500 // far too short for 8 lanes of probing
+	cfg.NoisePeriod = 0
+	msg := RandomMessage(800, 43)
+	m := sim.MustNewMachine(cfgp, 1<<30, 6)
+	rep, _ := RunNTPNTPLanes(m, cfg, 8, msg)
+	if rep.BER < 0.1 {
+		t.Fatalf("8 lanes at 1500 cycles should overload: BER %.2f%%", 100*rep.BER)
+	}
+}

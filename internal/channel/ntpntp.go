@@ -1,0 +1,88 @@
+package channel
+
+import (
+	"leakyway/internal/core"
+	"leakyway/internal/sim"
+)
+
+// RunNTPNTP transmits msg over the NTP+NTP channel (Algorithm 1) and
+// returns the report plus the bits the receiver decoded.
+//
+// Schedule (Figure 7): with S sets, the sender transmits bit i on set i%S at
+// iteration i; the receiver decodes bit i one iteration later (same
+// iteration for S=1, with an in-iteration spacing that must cover the
+// sender's DRAM fill — the in-flight limitation of Section IV-B2).
+//
+// Cores: sender on 0, receiver on 1, noise (if any) on 2.
+func RunNTPNTP(m *sim.Machine, cfg Config, msg []bool) (Report, []bool) {
+	sets := cfg.Sets
+	if sets <= 0 {
+		sets = 1
+	}
+	ep, err := Setup(m, sets, 0)
+	if err != nil {
+		panic(err)
+	}
+	interval := cfg.Interval
+	n := len(msg)
+	received := make([]bool, n)
+
+	// The receiver's decode threshold is calibrated before the run.
+	var th core.Thresholds
+
+	m.Spawn("sender", 0, ep.SenderAS, func(c *sim.Core) {
+		for i := 0; i < n; i++ {
+			c.WaitUntil(cfg.Start + int64(i)*interval + cfg.SenderOffset)
+			if msg[i] {
+				c.PrefetchNTA(ep.DS[i%sets])
+			}
+			c.Spin(cfg.ProtocolOverhead)
+		}
+	})
+
+	m.Spawn("receiver", 1, ep.ReceiverAS, func(c *sim.Core) {
+		th = core.Calibrate(c, 48)
+		// Prepare the channel before the epoch: fill each target set so
+		// it has no empty ways (footnote 4), then install every dr as
+		// its set's eviction candidate (which also leaves dr in the
+		// receiver's L1).
+		for s := 0; s < sets; s++ {
+			for _, va := range ep.Filler[s] {
+				c.Load(va)
+			}
+		}
+		for _, dr := range ep.DR {
+			c.PrefetchNTA(dr)
+		}
+		// Pipelined decode: bit i is read at iteration i+delay
+		// (Figure 7: with two sets the receiver always detects the bit
+		// sent one iteration earlier).
+		delay := int64(1)
+		if sets == 1 {
+			delay = 0
+		}
+		for i := 0; i < n; i++ {
+			c.WaitUntil(cfg.Start + (int64(i)+delay)*interval + cfg.ReceiverOffset)
+			t := c.TimedPrefetchNTA(ep.DR[i%sets])
+			received[i] = th.IsMiss(t)
+			c.Spin(cfg.ProtocolOverhead)
+		}
+	})
+
+	spawnNoise(m, cfg, ep, 2)
+	m.Run()
+
+	rep := Report{
+		Channel:  "NTP+NTP",
+		Platform: m.H.Config().Name,
+		Bits:     n,
+		Interval: interval,
+	}
+	for i := range msg {
+		if received[i] != msg[i] {
+			rep.Errors++
+		}
+	}
+	finishReport(&rep, m.H.Config().FreqGHz, 1)
+	return rep, received
+}

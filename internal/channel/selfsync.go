@@ -1,0 +1,284 @@
+package channel
+
+import (
+	"sort"
+
+	"leakyway/internal/core"
+	"leakyway/internal/sim"
+)
+
+// Self-synchronizing NTP+NTP: framing parameters. Each frame is
+//
+//	pulse ×8   silence ×2   START pulse   guard   payload ×48   silence ×2
+//
+// (one slot each). The receiver re-locks its clock on every frame, so the
+// residual error of the slot-length estimate never accumulates beyond one
+// frame's payload.
+const (
+	ssPreamble = 8
+	ssPayload  = 48
+	ssFrame    = ssPreamble + 2 + 1 + 1 + ssPayload + 2
+)
+
+// RunNTPNTPSelfSync removes the shared-epoch assumption of the basic
+// channel: the receiver does not know when the sender starts. The sender
+// frames the message as above; the receiver probes its line continuously,
+// estimates the slot length by regression over the preamble pulses and the
+// START pulse, locks phase, decodes one frame, and re-locks for the next.
+//
+// Because the receiver's probe can collide with a pulse's in-flight fill
+// (the Section IV-B2 hazard), a collision can leave the receiver's line dr
+// demoted from the eviction-candidate position. The receiver re-primes
+// after every detected miss: a filler walk restores full occupancy and
+// evicts stray sender lines (whose private copies die by
+// back-invalidation), and a final PREFETCHNTA reinstates dr as candidate.
+//
+// cfg.Interval is the slot length (≥2200 cycles on the default calibration,
+// leaving room for the re-prime); cfg.Start is the *sender's* private start
+// time — the receiver never reads it. The receiver must be listening before
+// the sender's first frame.
+func RunNTPNTPSelfSync(m *sim.Machine, cfg Config, msg []bool) (Report, []bool) {
+	ep, err := Setup(m, 1, 0)
+	if err != nil {
+		panic(err)
+	}
+	interval := cfg.Interval
+	n := len(msg)
+	received := make([]bool, 0, n)
+	rawRecv := make([]bool, 0, n+ssPayload)
+
+	senderStart := cfg.Start
+	if senderStart <= 0 {
+		senderStart = 80_000
+	}
+	// An all-zero bootstrap frame precedes the payload: its START pulse
+	// gives the receiver the long cross-frame baseline before any real
+	// bit is decoded (the short within-frame baseline leaves too much
+	// quantization error for a 48-bit payload).
+	pad := ssPayload
+	padded := make([]bool, pad+n)
+	copy(padded[pad:], msg)
+	n = len(padded)
+	frames := (n + ssPayload - 1) / ssPayload
+
+	m.Spawn("sender", 0, ep.SenderAS, func(c *sim.Core) {
+		slotAt := func(f int, slot int64) int64 {
+			return senderStart + (int64(f)*ssFrame+slot)*interval
+		}
+		for f := 0; f < frames; f++ {
+			for p := int64(0); p < ssPreamble; p++ {
+				c.WaitUntil(slotAt(f, p))
+				c.PrefetchNTA(ep.DS[0])
+				c.Spin(cfg.ProtocolOverhead)
+			}
+			// Slots 8,9: silence. Slot 10: START. Slot 11: guard.
+			c.WaitUntil(slotAt(f, ssPreamble+2))
+			c.PrefetchNTA(ep.DS[0])
+			c.Spin(cfg.ProtocolOverhead)
+			for i := 0; i < ssPayload; i++ {
+				bit := f*ssPayload + i
+				c.WaitUntil(slotAt(f, int64(ssPreamble+4+i)))
+				if bit < n && padded[bit] {
+					c.PrefetchNTA(ep.DS[0])
+				}
+				c.Spin(cfg.ProtocolOverhead)
+			}
+		}
+	})
+
+	m.Spawn("receiver", 1, ep.ReceiverAS, func(c *sim.Core) {
+		th := core.Calibrate(c, 48)
+		reprime := func() {
+			for _, va := range ep.Filler[0] {
+				c.Load(va)
+			}
+			c.PrefetchNTA(ep.DR[0])
+		}
+		// hardReprime recovers from a stuck channel (a sender line left
+		// resident by an in-flight collision): flushing and reloading
+		// the whole filler set forces the stray age-3 line out, and the
+		// final NTA reinstates dr as candidate.
+		hardReprime := func() {
+			c.Flush(ep.DR[0])
+			for _, va := range ep.Filler[0] {
+				c.Flush(va)
+			}
+			c.Fence()
+			for _, va := range ep.Filler[0] {
+				c.Load(va)
+			}
+			c.PrefetchNTA(ep.DR[0])
+		}
+		reprime()
+
+		probePeriod := interval / 8
+		if probePeriod < 150 {
+			probePeriod = 150
+		}
+		probe := func() (int64, bool) {
+			t := c.TimedPrefetchNTA(ep.DR[0])
+			at := c.Now()
+			if th.IsMiss(t) {
+				reprime()
+				return at, true
+			}
+			return at, false
+		}
+
+		deadline := c.Now() + int64(frames+4)*ssFrame*interval + 600_000
+		prevStart := int64(0)
+		firstStart := int64(0)
+		for f := 0; f < frames && c.Now() < deadline; f++ {
+			// Phase 1: preamble pulses until silence. If the channel
+			// has gone quiet for most of a frame, assume a stuck
+			// sender line and recover with a hard re-prime.
+			var misses []int64
+			med := int64(0)
+			lastRecover := c.Now()
+			for c.Now() < deadline {
+				if at, miss := probe(); miss {
+					misses = append(misses, at)
+				}
+				c.Spin(probePeriod)
+				if len(misses) == 0 && c.Now()-lastRecover > (ssFrame/2)*interval {
+					hardReprime()
+					lastRecover = c.Now()
+				}
+				if len(misses) < 4 {
+					continue
+				}
+				med = medianGap(misses)
+				if med > 0 && c.Now()-misses[len(misses)-1] > med*17/10 {
+					// Keep only the trailing run of consistently
+					// spaced pulses: stragglers from the previous
+					// frame's payload are separated from the real
+					// preamble by a multi-slot gap.
+					run := misses
+					for i := len(misses) - 1; i > 0; i-- {
+						if misses[i]-misses[i-1] > med*13/10 {
+							run = misses[i:]
+							break
+						}
+					}
+					if len(run) >= 4 {
+						misses = run
+						med = medianGap(misses)
+						break
+					}
+					misses = run // too short: keep waiting
+				}
+			}
+			if len(misses) < 4 || med <= 0 {
+				return // lock lost; remaining bits stay unreceived
+			}
+			// Phase 2: the START pulse.
+			var start int64
+			for c.Now() < deadline {
+				if at, miss := probe(); miss {
+					start = at
+					break
+				}
+				c.Spin(probePeriod)
+			}
+			if start == 0 {
+				return
+			}
+			// Regression estimate: the span from the first observed
+			// pulse to the START pulse covers a whole number of
+			// slots, recovered by rounding with the median gap.
+			est := med
+			if span := start - misses[0]; span > 0 {
+				slots := (span + med/2) / med
+				if slots > 0 {
+					est = span / slots
+				}
+			}
+			// Across frames the START pulses are exactly ssFrame
+			// slots apart: a much longer baseline that shrinks the
+			// quantization error of the estimate ~6x. (The slot
+			// count is known by construction — deriving it from the
+			// short-baseline estimate would just re-import its
+			// bias.)
+			if prevStart > 0 {
+				gap := start - prevStart
+				if diff := gap - int64(ssFrame)*est; diff < 3*est && diff > -3*est {
+					est = gap / ssFrame
+				}
+			}
+			prevStart = start
+			// The frame index comes from the START timestamp, not
+			// the loop counter: frame boundaries are ssFrame slots
+			// apart, so even if one lock was stolen by noise the
+			// next frames land back on their true indices instead
+			// of cascading a one-frame shift through the message.
+			frameIdx := f
+			if firstStart == 0 {
+				firstStart = start
+			} else if est > 0 {
+				span := int64(ssFrame) * est
+				if fi := int((start - firstStart + span/2) / span); fi >= 0 && fi < frames {
+					frameIdx = fi
+				}
+			}
+			// Phase 3: the frame's payload. Reads land early in the
+			// slot (2/5 in, minus the probe-cadence quantization of
+			// the START timestamp) so that a post-miss re-prime
+			// finishes before the sender's next slot begins.
+			phase := start - probePeriod/2
+			for i := 0; i < ssPayload; i++ {
+				bit := frameIdx*ssPayload + i
+				if bit >= n {
+					break
+				}
+				c.WaitUntil(phase + (2+int64(i))*est + est*2/5)
+				_, miss := probe()
+				for len(rawRecv) < bit {
+					rawRecv = append(rawRecv, false) // lost slots
+				}
+				rawRecv = append(rawRecv, miss)
+				c.Spin(cfg.ProtocolOverhead)
+			}
+		}
+	})
+
+	spawnNoise(m, cfg, ep, 2)
+	m.Run()
+
+	// Strip the bootstrap frame and align with the caller's message.
+	received = received[:0]
+	for i := 0; i < len(msg); i++ {
+		idx := pad + i
+		if idx < len(rawRecv) {
+			received = append(received, rawRecv[idx])
+		} else {
+			received = append(received, false)
+		}
+	}
+	rep := Report{
+		Channel:  "NTP+NTP selfsync",
+		Platform: m.H.Config().Name,
+		Bits:     len(msg),
+		Interval: interval,
+	}
+	for i := range msg {
+		if received[i] != msg[i] {
+			rep.Errors++
+		}
+	}
+	finishReport(&rep, m.H.Config().FreqGHz, float64(ssPayload)/float64(ssFrame))
+	return rep, received
+}
+
+// medianGap returns the median spacing between consecutive timestamps —
+// robust to a few noise insertions among the preamble pulses.
+func medianGap(ts []int64) int64 {
+	if len(ts) < 2 {
+		return 0
+	}
+	gaps := make([]int64, 0, len(ts)-1)
+	for i := 1; i < len(ts); i++ {
+		gaps = append(gaps, ts[i]-ts[i-1])
+	}
+	sort.Slice(gaps, func(i, j int) bool { return gaps[i] < gaps[j] })
+	return gaps[len(gaps)/2]
+}

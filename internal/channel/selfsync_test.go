@@ -1,0 +1,72 @@
+package channel
+
+import (
+	"testing"
+
+	"leakyway/internal/platform"
+	"leakyway/internal/sim"
+)
+
+func TestSelfSyncDecodesWithoutSharedEpoch(t *testing.T) {
+	cfgp := platform.Skylake()
+	cfg := DefaultConfig(cfgp.Name, cfgp.FreqGHz)
+	cfg.Interval = 2500
+	cfg.NoisePeriod = 0
+	msg := RandomMessage(300, 61)
+	for _, start := range []int64{80_000, 137_213, 260_001} {
+		c := cfg
+		c.Start = start // known only to the sender
+		m := sim.MustNewMachine(cfgp, 1<<30, 9)
+		rep, _ := RunNTPNTPSelfSync(m, c, msg)
+		if rep.BER > 0.02 {
+			t.Fatalf("start=%d: BER %.2f%%, want ≈0 after preamble lock", start, 100*rep.BER)
+		}
+	}
+}
+
+func TestSelfSyncFramingOverheadInRate(t *testing.T) {
+	// The reported raw rate must account for the framing overhead
+	// (48 payload slots out of 62).
+	cfgp := platform.Skylake()
+	cfg := DefaultConfig(cfgp.Name, cfgp.FreqGHz)
+	cfg.Interval = 2500
+	cfg.NoisePeriod = 0
+	m := sim.MustNewMachine(cfgp, 1<<30, 9)
+	rep, _ := RunNTPNTPSelfSync(m, cfg, RandomMessage(96, 3))
+	full := cfgp.FreqGHz * 1e9 / float64(cfg.Interval) / 8 / 1024
+	if rep.RawRateKBps >= full {
+		t.Fatalf("raw rate %.1f should be below the unframed rate %.1f", rep.RawRateKBps, full)
+	}
+	if rep.RawRateKBps < full*0.6 {
+		t.Fatalf("raw rate %.1f too low for 48/62 framing of %.1f", rep.RawRateKBps, full)
+	}
+}
+
+func TestSelfSyncToleratesNoise(t *testing.T) {
+	cfgp := platform.Skylake()
+	cfg := DefaultConfig(cfgp.Name, cfgp.FreqGHz)
+	cfg.Interval = 2500
+	cfg.NoisePeriod = 400_000
+	msg := RandomMessage(400, 62)
+	m := sim.MustNewMachine(cfgp, 1<<30, 10)
+	rep, _ := RunNTPNTPSelfSync(m, cfg, msg)
+	if rep.BER > 0.10 {
+		t.Fatalf("noisy self-sync BER %.2f%%; lock should survive sparse noise", 100*rep.BER)
+	}
+}
+
+func TestSelfSyncLongNoisyTransfer(t *testing.T) {
+	// Regression: a stolen frame lock must not cascade a one-frame shift
+	// through the rest of the message (the frame index is re-derived from
+	// each START timestamp).
+	cfgp := platform.Skylake()
+	cfg := DefaultConfig(cfgp.Name, cfgp.FreqGHz)
+	cfg.Interval = 2500
+	cfg.NoisePeriod = 400_000
+	msg := RandomMessage(1500, 42)
+	m := sim.MustNewMachine(cfgp, 1<<30, 42)
+	rep, _ := RunNTPNTPSelfSync(m, cfg, msg)
+	if rep.BER > 0.05 {
+		t.Fatalf("long noisy transfer BER %.2f%%; isolated frame damage only, no cascades", 100*rep.BER)
+	}
+}

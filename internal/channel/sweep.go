@@ -1,0 +1,128 @@
+package channel
+
+import (
+	"math/rand"
+
+	"leakyway/internal/hier"
+	"leakyway/internal/sim"
+)
+
+// Runner is a channel implementation: NTP+NTP or Prime+Probe.
+type Runner func(m *sim.Machine, cfg Config, msg []bool) (Report, []bool)
+
+// SweepResult is one Figure 8 curve: reports across raw transmission rates
+// (one per interval), for a single channel on a single platform.
+type SweepResult struct {
+	Channel  string
+	Platform string
+	Points   []Report
+}
+
+// Peak returns the report with the highest channel capacity — the Table II
+// number.
+func (s SweepResult) Peak() Report {
+	var best Report
+	for _, p := range s.Points {
+		if p.CapacityKBps > best.CapacityKBps {
+			best = p
+		}
+	}
+	return best
+}
+
+// Sweep measures a channel across transmission intervals on fresh machines
+// (same platform and seed each point, so points differ only in rate). bits
+// is the message length per point.
+func Sweep(platform hier.Config, run Runner, base Config, intervals []int64, bits int, seed int64) SweepResult {
+	msg := RandomMessage(bits, seed)
+	var out SweepResult
+	for _, iv := range intervals {
+		m := sim.MustNewMachine(platform, 1<<30, seed)
+		cfg := base
+		cfg.Interval = iv
+		rep, _ := run(m, cfg, msg)
+		out.Channel = rep.Channel
+		out.Platform = rep.Platform
+		out.Points = append(out.Points, rep)
+	}
+	return out
+}
+
+// DefaultIntervals returns the interval grid used for the Figure 8 sweeps:
+// dense around the capacity knee, sparser in the tails.
+func DefaultIntervals() []int64 {
+	return []int64{
+		600, 800, 1000, 1100, 1200, 1300, 1400, 1500, 1700,
+		2000, 2400, 3000, 4000, 5000, 7000, 10000,
+	}
+}
+
+// RandomMessage generates a deterministic pseudo-random bit string.
+func RandomMessage(n int, seed int64) []bool {
+	rng := rand.New(rand.NewSource(seed ^ 0x6d657373))
+	msg := make([]bool, n)
+	for i := range msg {
+		msg[i] = rng.Intn(2) == 1
+	}
+	return msg
+}
+
+// BytesToBits expands data MSB-first, the encoding the examples use.
+func BytesToBits(data []byte) []bool {
+	out := make([]bool, 0, len(data)*8)
+	for _, b := range data {
+		for i := 7; i >= 0; i-- {
+			out = append(out, b>>uint(i)&1 == 1)
+		}
+	}
+	return out
+}
+
+// BitsToBytes packs bits MSB-first; trailing partial bytes are dropped.
+func BitsToBytes(bits []bool) []byte {
+	out := make([]byte, 0, len(bits)/8)
+	for i := 0; i+8 <= len(bits); i += 8 {
+		var b byte
+		for j := 0; j < 8; j++ {
+			b <<= 1
+			if bits[i+j] {
+				b |= 1
+			}
+		}
+		out = append(out, b)
+	}
+	return out
+}
+
+// EncodeRepetition triples every bit — the simple reliability encoding the
+// paper alludes to for noisy conditions.
+func EncodeRepetition(bits []bool, k int) []bool {
+	if k <= 1 {
+		return append([]bool(nil), bits...)
+	}
+	out := make([]bool, 0, len(bits)*k)
+	for _, b := range bits {
+		for i := 0; i < k; i++ {
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+// DecodeRepetition majority-votes k-bit groups.
+func DecodeRepetition(bits []bool, k int) []bool {
+	if k <= 1 {
+		return append([]bool(nil), bits...)
+	}
+	out := make([]bool, 0, len(bits)/k)
+	for i := 0; i+k <= len(bits); i += k {
+		ones := 0
+		for j := 0; j < k; j++ {
+			if bits[i+j] {
+				ones++
+			}
+		}
+		out = append(out, ones*2 > k)
+	}
+	return out
+}

@@ -1,0 +1,131 @@
+package core
+
+import (
+	"fmt"
+
+	"leakyway/internal/mem"
+	"leakyway/internal/sim"
+)
+
+// The oracles below stage experiments that are *not* about congruence
+// discovery: they allocate memory in an agent's address space and use the
+// machine's geometry to pick lines that collide (or deliberately do not
+// collide) in the LLC. The realistic, timing-only construction lives in
+// package evset; the paper likewise assumes eviction sets "constructed with
+// methods from prior work" for its channel experiments.
+
+// CongruentLines returns n distinct virtual lines in as that are
+// LLC-congruent with target (same slice, same set) and do not share target's
+// line. Pages are allocated on demand.
+func CongruentLines(m *sim.Machine, as *mem.AddressSpace, target mem.VAddr, n int) ([]mem.VAddr, error) {
+	tpa, err := as.Translate(target)
+	if err != nil {
+		return nil, fmt.Errorf("core: target unmapped: %w", err)
+	}
+	return CongruentWithLine(m, as, tpa.Line(), n)
+}
+
+// CongruentWithLine returns n virtual lines in as whose physical lines are
+// LLC-congruent with tline (which may belong to a different process — this
+// is how a covert-channel sender and receiver end up with lines in one
+// agreed LLC set). Pages are allocated on demand.
+func CongruentWithLine(m *sim.Machine, as *mem.AddressSpace, tline mem.LineAddr, n int) ([]mem.VAddr, error) {
+	geo := m.H.Geometry()
+	lineOff := (uint64(tline) % mem.LinesPerPage) * mem.LineSize
+	var out []mem.VAddr
+	const batch = 64
+	for budget := 0; len(out) < n; budget++ {
+		if budget > 4096 {
+			return nil, fmt.Errorf("core: exhausted %d pages finding congruent lines", budget*batch)
+		}
+		base, err := as.Alloc(batch * mem.PageSize)
+		if err != nil {
+			return nil, err
+		}
+		for p := uint64(0); p < batch && len(out) < n; p++ {
+			va := base + mem.VAddr(p*mem.PageSize) + mem.VAddr(lineOff)
+			la := as.MustTranslate(va).Line()
+			if la != tline && geo.Congruent(la, tline) {
+				out = append(out, va)
+			}
+		}
+	}
+	return out, nil
+}
+
+// MustCongruentLines panics on failure (experiment setup helper).
+func MustCongruentLines(m *sim.Machine, as *mem.AddressSpace, target mem.VAddr, n int) []mem.VAddr {
+	out, err := CongruentLines(m, as, target, n)
+	if err != nil {
+		panic(err)
+	}
+	return out
+}
+
+// PrivateCongruentLines returns n lines that share target's L1 and L2 sets
+// but are NOT LLC-congruent with it — the "l′" eviction set of the paper's
+// Figure 4 experiment, used to evict a line from the private caches while
+// leaving its LLC copy in place.
+func PrivateCongruentLines(m *sim.Machine, as *mem.AddressSpace, target mem.VAddr, n int) ([]mem.VAddr, error) {
+	cfg := m.H.Config()
+	geo := m.H.Geometry()
+	tpa, err := as.Translate(target)
+	if err != nil {
+		return nil, fmt.Errorf("core: target unmapped: %w", err)
+	}
+	tline := tpa.Line()
+	l1Mask := uint64(cfg.L1Sets - 1)
+	l2Mask := uint64(cfg.L2Sets - 1)
+	lineOff := target.PageOffset() &^ (mem.LineSize - 1)
+	var out []mem.VAddr
+	const batch = 64
+	for budget := 0; len(out) < n; budget++ {
+		if budget > 4096 {
+			return nil, fmt.Errorf("core: exhausted %d pages finding private-congruent lines", budget*batch)
+		}
+		base, err := as.Alloc(batch * mem.PageSize)
+		if err != nil {
+			return nil, err
+		}
+		for p := uint64(0); p < batch && len(out) < n; p++ {
+			va := base + mem.VAddr(p*mem.PageSize) + mem.VAddr(lineOff)
+			la := as.MustTranslate(va).Line()
+			if la == tline || geo.Congruent(la, tline) {
+				continue
+			}
+			if uint64(la)&l1Mask != uint64(tline)&l1Mask {
+				continue
+			}
+			if uint64(la)&l2Mask != uint64(tline)&l2Mask {
+				continue
+			}
+			out = append(out, va)
+		}
+	}
+	return out, nil
+}
+
+// MustPrivateCongruentLines panics on failure.
+func MustPrivateCongruentLines(m *sim.Machine, as *mem.AddressSpace, target mem.VAddr, n int) []mem.VAddr {
+	out, err := PrivateCongruentLines(m, as, target, n)
+	if err != nil {
+		panic(err)
+	}
+	return out
+}
+
+// EvictPrivate drives target out of the agent's L1 and L2 without touching
+// its LLC set, by walking a private-congruent eviction set several times
+// (Step 1 of the Figure 4 experiment). The caller provides the set from
+// PrivateCongruentLines; w+1 lines walked twice suffice because
+// L1ways + L2ways < LLCways on the modelled parts.
+func EvictPrivate(c *sim.Core, evset []mem.VAddr, rounds int) {
+	if rounds <= 0 {
+		rounds = 2
+	}
+	for r := 0; r < rounds; r++ {
+		for _, va := range evset {
+			c.Load(va)
+		}
+	}
+}

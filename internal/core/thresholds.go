@@ -1,0 +1,58 @@
+// Package core is the paper's attacker toolkit: timing-threshold
+// calibration, congruent-address oracles used to stage experiments, the
+// priming access patterns of Listings 1 and 2, and LLC set-state tracing for
+// the state-walk figures. The covert channels (package channel), side
+// channels (package attack) and eviction-set construction (package evset)
+// are all built from these primitives.
+package core
+
+import (
+	"leakyway/internal/mem"
+	"leakyway/internal/sim"
+)
+
+// Thresholds are the calibrated timing cut-offs an attacker derives before
+// mounting an attack (the paper's Th0).
+type Thresholds struct {
+	// MissThreshold separates "serviced from some cache level" from
+	// "serviced from DRAM" for timed loads and timed NTA prefetches. On
+	// the paper's Skylake this lands around 150 cycles.
+	MissThreshold int64
+	// L1Threshold separates L1 hits from everything slower; Prime+Scope's
+	// scope loop keys on it.
+	L1Threshold int64
+}
+
+// Calibrate measures the agent's own timing tiers and derives thresholds,
+// exactly as a real attacker would before mounting an attack. It allocates a
+// scratch page in the agent's address space.
+func Calibrate(c *sim.Core, samples int) Thresholds {
+	if samples <= 0 {
+		samples = 64
+	}
+	scratch := c.Alloc(mem.PageSize)
+
+	maxL1, minMiss := int64(0), int64(1<<62)
+	for i := 0; i < samples; i++ {
+		// DRAM tier: flush, fence, timed load.
+		c.Flush(scratch)
+		c.Fence()
+		if t := c.TimedLoad(scratch); t < minMiss {
+			minMiss = t
+		}
+		// L1 tier: immediate timed reload.
+		if t := c.TimedLoad(scratch); t > maxL1 {
+			maxL1 = t
+		}
+	}
+	// The LLC-hit tier sits between the two; the midpoint classifies all
+	// three correctly (L1 ≈ 70, LLC ≈ 95, DRAM ≈ 210+ on the Skylake
+	// calibration).
+	return Thresholds{
+		MissThreshold: (maxL1 + minMiss) / 2,
+		L1Threshold:   maxL1 + 5,
+	}
+}
+
+// IsMiss classifies a timed load/prefetch as a DRAM access.
+func (t Thresholds) IsMiss(cycles int64) bool { return cycles > t.MissThreshold }

@@ -1,0 +1,56 @@
+package core
+
+import (
+	"strings"
+
+	"leakyway/internal/hier"
+	"leakyway/internal/mem"
+	"leakyway/internal/sim"
+)
+
+// Trace records a sequence of labelled LLC set snapshots, rendering them in
+// the style of the paper's state-walk figures (Figures 1, 6, 9, 10): one row
+// per step, each way shown as "name:age".
+type Trace struct {
+	names map[mem.LineAddr]string
+	steps []traceStep
+}
+
+type traceStep struct {
+	label string
+	view  hier.SetView
+}
+
+// NewTrace creates an empty trace.
+func NewTrace() *Trace {
+	return &Trace{names: make(map[mem.LineAddr]string)}
+}
+
+// Label registers a display name for the line at va in the agent's address
+// space.
+func (tr *Trace) Label(c *sim.Core, va mem.VAddr, name string) {
+	tr.names[c.AS.MustTranslate(va).Line()] = name
+}
+
+// Snap records the LLC set containing va under the given step label.
+func (tr *Trace) Snap(m *sim.Machine, c *sim.Core, va mem.VAddr, label string) {
+	tr.steps = append(tr.steps, traceStep{
+		label: label,
+		view:  m.H.LLCSet(c.AS.MustTranslate(va)),
+	})
+}
+
+// Render produces the full state walk as text.
+func (tr *Trace) Render() string {
+	var b strings.Builder
+	for _, s := range tr.steps {
+		b.WriteString(s.label)
+		b.WriteString("\n  ")
+		b.WriteString(s.view.Format(tr.names))
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// Steps returns the number of recorded snapshots.
+func (tr *Trace) Steps() int { return len(tr.steps) }

@@ -1,0 +1,223 @@
+package evset
+
+import (
+	"testing"
+
+	"leakyway/internal/core"
+	"leakyway/internal/hier"
+	"leakyway/internal/mem"
+	"leakyway/internal/platform"
+	"leakyway/internal/sim"
+)
+
+// smallMachine shrinks the LLC so construction tests stay fast: 1 slice of
+// 64 sets, 8 ways. Note the whole set index then fits in the page offset,
+// so every same-offset candidate is congruent — fine for correctness tests;
+// use mediumMachine when discovery sparsity matters.
+func smallMachine(seed int64) *sim.Machine {
+	cfg := platformConfigForTests()
+	cfg.LLCSlices = 1
+	cfg.LLCSetsPerSlice = 64
+	cfg.LLCWays = 8
+	return sim.MustNewMachine(cfg, 1<<28, seed)
+}
+
+// platformConfigForTests returns the Skylake base config.
+func platformConfigForTests() hier.Config {
+	return platform.Skylake()
+}
+
+func TestBuildPrefetchFindsCongruentLines(t *testing.T) {
+	m := smallMachine(1)
+	as := m.NewSpace()
+	var res Result
+	var err error
+	var target mem.VAddr
+	m.Spawn("attacker", 0, as, func(c *sim.Core) {
+		target = c.Alloc(mem.PageSize)
+		th := core.Calibrate(c, 32)
+		pool := NewPool(c, target, 4096)
+		res, err = BuildPrefetch(c, target, Options{Desired: 8, Pool: pool, Thresholds: th})
+	})
+	m.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Set) != 8 {
+		t.Fatalf("found %d lines, want 8", len(res.Set))
+	}
+	if ok := Verify(m, as, target, res.Set); ok != 8 {
+		t.Fatalf("only %d/8 found lines are truly congruent", ok)
+	}
+	if res.MemRefs <= 0 || res.Cycles <= 0 {
+		t.Fatalf("bogus cost accounting: %+v", res)
+	}
+}
+
+func TestBuildBaselineFindsCongruentLines(t *testing.T) {
+	m := smallMachine(2)
+	as := m.NewSpace()
+	var res Result
+	var err error
+	var target mem.VAddr
+	m.Spawn("attacker", 0, as, func(c *sim.Core) {
+		target = c.Alloc(mem.PageSize)
+		th := core.Calibrate(c, 32)
+		pool := NewPool(c, target, 8192)
+		res, err = BuildBaseline(c, target, Options{Desired: 4, Pool: pool, Thresholds: th})
+	})
+	m.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Set) != 4 {
+		t.Fatalf("found %d lines, want 4", len(res.Set))
+	}
+	ok := Verify(m, as, target, res.Set)
+	if ok < 3 {
+		t.Fatalf("only %d/4 found lines are truly congruent", ok)
+	}
+}
+
+func TestPrefetchBeatsBaseline(t *testing.T) {
+	// The headline Figure 13 claim, at reduced scale: the prefetch-based
+	// construction needs far fewer references and cycles.
+	m := smallMachine(3)
+	as := m.NewSpace()
+	var pref, base Result
+	m.Spawn("attacker", 0, as, func(c *sim.Core) {
+		th := core.Calibrate(c, 32)
+		t1 := c.Alloc(mem.PageSize)
+		pool1 := NewPool(c, t1, 4096)
+		var err error
+		pref, err = BuildPrefetch(c, t1, Options{Desired: 6, Pool: pool1, Thresholds: th})
+		if err != nil {
+			t.Errorf("prefetch build: %v", err)
+		}
+		t2 := c.Alloc(mem.PageSize)
+		pool2 := NewPool(c, t2, 8192)
+		base, err = BuildBaseline(c, t2, Options{Desired: 6, Pool: pool2, Thresholds: th})
+		if err != nil {
+			t.Errorf("baseline build: %v", err)
+		}
+	})
+	m.Run()
+	if base.MemRefs <= pref.MemRefs {
+		t.Fatalf("baseline refs (%d) should exceed prefetch refs (%d)", base.MemRefs, pref.MemRefs)
+	}
+	if base.Cycles <= pref.Cycles {
+		t.Fatalf("baseline cycles (%d) should exceed prefetch cycles (%d)", base.Cycles, pref.Cycles)
+	}
+	if ratio := float64(base.MemRefs) / float64(pref.MemRefs); ratio < 2 {
+		t.Fatalf("improvement ratio %.2f; expected clear (>2x) advantage", ratio)
+	}
+}
+
+func TestPoolExhausted(t *testing.T) {
+	m := smallMachine(4)
+	as := m.NewSpace()
+	var err error
+	m.Spawn("attacker", 0, as, func(c *sim.Core) {
+		target := c.Alloc(mem.PageSize)
+		th := core.Calibrate(c, 16)
+		pool := NewPool(c, target, 8) // far too small
+		_, err = BuildPrefetch(c, target, Options{Desired: 8, Pool: pool, Thresholds: th})
+	})
+	m.Run()
+	if err != ErrPoolExhausted {
+		t.Fatalf("err = %v, want ErrPoolExhausted", err)
+	}
+}
+
+func TestDesiredValidation(t *testing.T) {
+	m := smallMachine(5)
+	var err1, err2 error
+	m.Spawn("attacker", 0, nil, func(c *sim.Core) {
+		target := c.Alloc(mem.PageSize)
+		_, err1 = BuildPrefetch(c, target, Options{Desired: 0})
+		_, err2 = BuildBaseline(c, target, Options{Desired: -1})
+	})
+	m.Run()
+	if err1 == nil || err2 == nil {
+		t.Fatal("non-positive Desired accepted")
+	}
+}
+
+func TestNewPoolShape(t *testing.T) {
+	m := smallMachine(6)
+	m.Spawn("attacker", 0, nil, func(c *sim.Core) {
+		target := c.Alloc(mem.PageSize) + 3*mem.LineSize + 7
+		pool := NewPool(c, target, 16)
+		if len(pool) != 16 {
+			t.Errorf("pool size = %d, want 16", len(pool))
+		}
+		for _, va := range pool {
+			if va.PageOffset() != 3*mem.LineSize {
+				t.Errorf("candidate %#x has page offset %#x, want %#x",
+					uint64(va), va.PageOffset(), 3*mem.LineSize)
+			}
+		}
+	})
+	m.Run()
+}
+
+func TestHugePoolDensity(t *testing.T) {
+	// On the full Skylake geometry a page-offset pool is congruent with
+	// probability 1/128; a huge-page pool hits 1/4 (slice bits only).
+	m := sim.MustNewMachine(platform.Skylake(), 1<<30, 31)
+	as := m.NewSpace()
+	var target mem.VAddr
+	var pool []mem.VAddr
+	m.Spawn("a", 0, as, func(c *sim.Core) {
+		var err error
+		target, pool, err = NewHugePool(c, m.H.Config().LLCSetsPerSlice, 256)
+		if err != nil {
+			t.Error(err)
+		}
+	})
+	m.Run()
+	geo := m.H.Geometry()
+	tl := as.MustTranslate(target).Line()
+	congruent := 0
+	for _, va := range pool {
+		la := as.MustTranslate(va).Line()
+		if geo.Set(la) != geo.Set(tl) {
+			t.Fatal("huge-page candidate has wrong set bits — contiguity broken")
+		}
+		if geo.Congruent(la, tl) {
+			congruent++
+		}
+	}
+	frac := float64(congruent) / float64(len(pool))
+	if frac < 0.15 || frac > 0.4 {
+		t.Fatalf("congruent fraction %.2f, want ≈1/slices (0.25)", frac)
+	}
+}
+
+func TestHugePoolConstructionIsCheaper(t *testing.T) {
+	m := sim.MustNewMachine(platform.Skylake(), 1<<31, 32)
+	as := m.NewSpace()
+	var huge, norm Result
+	m.Spawn("a", 0, as, func(c *sim.Core) {
+		th := core.Calibrate(c, 32)
+		ht, hp, err := NewHugePool(c, m.H.Config().LLCSetsPerSlice, 256)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		huge, err = BuildPrefetch(c, ht, Options{Desired: 16, Pool: hp, Thresholds: th})
+		if err != nil {
+			t.Errorf("huge build: %v", err)
+		}
+		nt := c.Alloc(mem.PageSize)
+		np := NewPool(c, nt, 8192)
+		norm, err = BuildPrefetch(c, nt, Options{Desired: 16, Pool: np, Thresholds: th})
+		if err != nil {
+			t.Errorf("normal build: %v", err)
+		}
+	})
+	m.Run()
+	if huge.Tested*8 > norm.Tested {
+		t.Fatalf("huge-page pool tested %d candidates vs %d — expected ≳30x fewer", huge.Tested, norm.Tested)
+	}
+}

@@ -1,0 +1,109 @@
+package evset
+
+import (
+	"leakyway/internal/mem"
+	"leakyway/internal/sim"
+)
+
+// BuildGroupTesting implements the threshold group-testing reduction of
+// Vila et al. (the paper's reference [62]): start from a candidate pool
+// large enough to evict the target, then repeatedly split it into w+1
+// groups and drop any group whose removal still leaves an evicting set.
+// On a true-LRU cache this reaches a minimal eviction set; on the quad-age
+// policy the threshold test loses precision near w lines (stale set
+// contents blur the eviction boundary — a known brittleness of group
+// testing on modern Intel parts), so the reduction may stall on a small
+// *superset* of the minimal set. The returned set always evicts the target;
+// callers needing exactly-congruent lines can feed it to BuildPrefetch as a
+// pool after flushing, or use BuildPrefetch directly.
+//
+// ErrIrreducible is returned only when the stall leaves more than
+// 8×Desired lines — the pool was too entangled to be useful.
+func BuildGroupTesting(c *sim.Core, target mem.VAddr, opt Options) (Result, error) {
+	desired := opt.Desired
+	if desired <= 0 {
+		return Result{}, errDesired(desired)
+	}
+	var res Result
+	start := c.Now()
+	set := append([]mem.VAddr(nil), opt.Pool...)
+
+	// The initial pool must evict the target at all.
+	if !evicts(c, target, set, opt, &res) {
+		res.Cycles = c.Now() - start
+		return res, ErrPoolExhausted
+	}
+
+	for len(set) > desired {
+		groups := desired + 1
+		if groups > len(set) {
+			groups = len(set)
+		}
+		chunk := (len(set) + groups - 1) / groups
+		reduced := false
+		for g := 0; g < groups && len(set) > desired; g++ {
+			lo := g * chunk
+			if lo >= len(set) {
+				break
+			}
+			hi := lo + chunk
+			if hi > len(set) {
+				hi = len(set)
+			}
+			// Candidate reduction: set without group g. Leftover
+			// lines from earlier tests still sit in the target's
+			// LLC set and can make a too-small trial *appear* to
+			// evict, so a reduction must pass the test twice.
+			trial := make([]mem.VAddr, 0, len(set)-(hi-lo))
+			trial = append(trial, set[:lo]...)
+			trial = append(trial, set[hi:]...)
+			if evicts(c, target, trial, opt, &res) && evicts(c, target, trial, opt, &res) {
+				set = trial
+				reduced = true
+				break
+			}
+		}
+		if !reduced {
+			// No single group can be removed. On true LRU this
+			// means the set is minimal; on the quad-age policy the
+			// threshold test loses precision near w lines (stale
+			// set contents blur the boundary), so the reduction
+			// typically stalls on a small superset.
+			break
+		}
+	}
+	res.Cycles = c.Now() - start
+	res.Set = set
+	if len(set) > 8*desired {
+		return res, ErrIrreducible
+	}
+	return res, nil
+}
+
+// evicts tests whether accessing all of lines displaces the target from the
+// LLC, by timing a reload. Each test charges its references to res.
+func evicts(c *sim.Core, target mem.VAddr, lines []mem.VAddr, opt Options, res *Result) bool {
+	c.Load(target)
+	res.MemRefs++
+	// Three passes, alternating direction: on the quad-age policy a
+	// fixed-order walk can chase its own evictions and spare the target;
+	// reversing the middle pass breaks that alignment (the same reason
+	// the priming patterns vary their order).
+	for pass := 0; pass < 3; pass++ {
+		if pass == 1 {
+			for i := len(lines) - 1; i >= 0; i-- {
+				c.Load(lines[i])
+				res.MemRefs++
+			}
+			continue
+		}
+		for _, va := range lines {
+			c.Load(va)
+			res.MemRefs++
+		}
+	}
+	t := c.TimedLoad(target)
+	res.MemRefs++
+	res.Tested += len(lines)
+	return opt.Thresholds.IsMiss(t)
+}

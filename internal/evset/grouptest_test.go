@@ -1,0 +1,106 @@
+package evset
+
+import (
+	"testing"
+
+	"leakyway/internal/core"
+	"leakyway/internal/mem"
+	"leakyway/internal/sim"
+)
+
+func TestGroupTestingReducesToCongruentSet(t *testing.T) {
+	m := smallMachine(21)
+	as := m.NewSpace()
+	var res Result
+	var err error
+	var target mem.VAddr
+	m.Spawn("attacker", 0, as, func(c *sim.Core) {
+		target = c.Alloc(mem.PageSize)
+		th := core.Calibrate(c, 32)
+		pool := NewPool(c, target, 768)
+		res, err = BuildGroupTesting(c, target, Options{Desired: 8, Pool: pool, Thresholds: th})
+	})
+	m.Run()
+	if err != nil {
+		t.Fatalf("group testing failed: %v (set size %d)", err, len(res.Set))
+	}
+	if len(res.Set) > 8 {
+		t.Fatalf("reduced set has %d lines, want <=8 on this all-congruent geometry", len(res.Set))
+	}
+	// Every surviving line should be truly congruent.
+	ok := Verify(m, as, target, res.Set)
+	if ok < len(res.Set)-1 {
+		t.Fatalf("only %d/%d survivors are congruent", ok, len(res.Set))
+	}
+	if res.MemRefs <= 0 || res.Cycles <= 0 {
+		t.Fatalf("bogus accounting: %+v", res)
+	}
+}
+
+func TestGroupTestingSupersetOnSparseGeometry(t *testing.T) {
+	// With unknown set bits the quad-age reduction stalls on a small
+	// superset that must still contain the whole minimal set.
+	m := mediumMachine(25)
+	as := m.NewSpace()
+	var res Result
+	var err error
+	var target mem.VAddr
+	m.Spawn("attacker", 0, as, func(c *sim.Core) {
+		target = c.Alloc(mem.PageSize)
+		th := core.Calibrate(c, 32)
+		pool := NewPool(c, target, 512) // ~32 congruent at 1/16 density
+		res, err = BuildGroupTesting(c, target, Options{Desired: 8, Pool: pool, Thresholds: th})
+	})
+	m.Run()
+	if err != nil {
+		t.Fatalf("group testing failed: %v (size %d)", err, len(res.Set))
+	}
+	if len(res.Set) >= 512 {
+		t.Fatalf("no reduction happened: %d lines", len(res.Set))
+	}
+	if cong := Verify(m, as, target, res.Set); cong < 8 {
+		t.Fatalf("superset holds only %d congruent lines; an 8-way eviction set needs 8", cong)
+	}
+}
+
+func TestGroupTestingPoolTooSmall(t *testing.T) {
+	// A machine whose LLC set index extends beyond the page offset, so
+	// same-offset candidates are congruent only 1/16 of the time: a
+	// 32-page pool holds ~2 congruent lines and cannot evict the target.
+	m := mediumMachine(22)
+	as := m.NewSpace()
+	var err error
+	m.Spawn("attacker", 0, as, func(c *sim.Core) {
+		target := c.Alloc(mem.PageSize)
+		th := core.Calibrate(c, 32)
+		pool := NewPool(c, target, 32)
+		_, err = BuildGroupTesting(c, target, Options{Desired: 8, Pool: pool, Thresholds: th})
+	})
+	m.Run()
+	if err == nil {
+		t.Fatal("expected failure with an undersized pool")
+	}
+}
+
+// mediumMachine has a 1-slice, 1024-set, 8-way LLC: 4 set-index bits above
+// the page offset.
+func mediumMachine(seed int64) *sim.Machine {
+	cfg := platformConfigForTests()
+	cfg.LLCSlices = 1
+	cfg.LLCSetsPerSlice = 1024
+	cfg.LLCWays = 8
+	return sim.MustNewMachine(cfg, 1<<28, seed)
+}
+
+func TestGroupTestingValidation(t *testing.T) {
+	m := smallMachine(23)
+	var err error
+	m.Spawn("attacker", 0, nil, func(c *sim.Core) {
+		target := c.Alloc(mem.PageSize)
+		_, err = BuildGroupTesting(c, target, Options{Desired: 0})
+	})
+	m.Run()
+	if err == nil {
+		t.Fatal("Desired=0 accepted")
+	}
+}

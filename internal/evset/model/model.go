@@ -1,0 +1,191 @@
+// Package model is the Go port of the paper's "Python models" (Section
+// VI-D): a policy-level simulation of one LLC set used to compare the
+// eviction-set construction algorithms under the original Intel insertion
+// policy and under the proposed countermeasure policy (loads insert at age
+// 1, PREFETCHNTA at age 2). The paper reports that the prefetch-based
+// algorithm needs 7.25× fewer memory references than the baseline under the
+// Intel policy, but only 1.26× fewer under the countermeasure.
+package model
+
+import (
+	"fmt"
+
+	"leakyway/internal/policy"
+)
+
+// setModel is a single w-way LLC set with quad-age metadata; tags are small
+// integers. Tag conventions: negative tags are background lines, tag 0 is
+// the target, positive tags are candidates.
+type setModel struct {
+	ways  int
+	tags  []int
+	valid []bool
+	state policy.SetState
+}
+
+func newSetModel(pol policy.Policy, ways int) *setModel {
+	s := &setModel{
+		ways:  ways,
+		tags:  make([]int, ways),
+		valid: make([]bool, ways),
+		state: pol.NewSet(ways),
+	}
+	// Background: the set starts full of other processes' lines at load
+	// insertion age, as on a warm machine.
+	for w := 0; w < ways; w++ {
+		s.tags[w] = -(w + 1)
+		s.valid[w] = true
+		s.state.OnFill(w, policy.ClassLoad)
+	}
+	return s
+}
+
+func (s *setModel) find(tag int) int {
+	for w := 0; w < s.ways; w++ {
+		if s.valid[w] && s.tags[w] == tag {
+			return w
+		}
+	}
+	return -1
+}
+
+// touch is an access of class cls: hit updates policy state; miss evicts the
+// policy victim and fills.
+func (s *setModel) touch(tag int, cls policy.AccessClass) {
+	if w := s.find(tag); w >= 0 {
+		s.state.OnHit(w, cls)
+		return
+	}
+	w := s.state.Victim(func(int) bool { return true })
+	s.state.OnInvalidate(w)
+	s.tags[w] = tag
+	s.valid[w] = true
+	s.state.OnFill(w, cls)
+}
+
+// present reports whether tag is cached.
+func (s *setModel) present(tag int) bool { return s.find(tag) >= 0 }
+
+// Result reports the cost of constructing an eviction set in the model.
+type Result struct {
+	MemRefs    int
+	Candidates int
+}
+
+// RunPrefetch simulates Algorithm 2 on the set model: every reference is a
+// PREFETCHNTA. MemRefs counts references that reach the target's LLC set:
+// candidate prefetches and target (re-)installs. A timed check of a
+// still-present target is a private-cache hit (and even at the LLC an NTA
+// hit would leave the age untouched, Property #2), so it neither mutates the
+// set nor counts.
+func RunPrefetch(pol policy.Policy, ways, desired int) Result {
+	s := newSetModel(pol, ways)
+	var res Result
+	nextCand := 1
+	for found := 0; found < desired; found++ {
+		// Install the target as the eviction candidate; after a
+		// detection the detecting prefetch already re-installed it,
+		// so this only costs a reference when the target is absent.
+		if !s.present(0) {
+			s.touch(0, policy.ClassNTA)
+			res.MemRefs++
+		}
+		for {
+			cand := nextCand
+			nextCand++
+			res.Candidates++
+			s.touch(cand, policy.ClassNTA)
+			res.MemRefs++
+			// Timed prefetch of the target: if evicted, the last
+			// candidate is congruent, and the detecting prefetch
+			// misses to DRAM and re-installs the target.
+			if !s.present(0) {
+				s.touch(0, policy.ClassNTA)
+				res.MemRefs++
+				break
+			}
+		}
+	}
+	return res
+}
+
+// RunBaseline simulates the access-based construction: demand loads
+// everywhere. Checks of a present target are private-cache hits and do not
+// touch the LLC set (they still count as references); a check of an evicted
+// target misses and refills it.
+func RunBaseline(pol policy.Policy, ways, desired int) Result {
+	s := newSetModel(pol, ways)
+	var res Result
+	nextCand := 1
+	found := []int{}
+	for len(found) < desired {
+		// (Re-)load the target; skip when it is already private-cache
+		// resident from the detecting check. (The paper notes the
+		// baseline *could* also re-access the partial eviction set
+		// here to slightly reduce the count; like the paper's model,
+		// we compare against the plain algorithm.)
+		if !s.present(0) {
+			s.touch(0, policy.ClassLoad)
+			res.MemRefs++
+		}
+		for {
+			cand := nextCand
+			nextCand++
+			res.Candidates++
+			s.touch(cand, policy.ClassLoad)
+			res.MemRefs++
+			// The timed check load of a present target is a
+			// private-cache hit: no LLC effect, not counted (the
+			// same convention as RunPrefetch). A check of an
+			// evicted target misses, refills it, and ends the
+			// inner loop.
+			if !s.present(0) {
+				found = append(found, cand)
+				s.touch(0, policy.ClassLoad)
+				res.MemRefs++
+				break
+			}
+		}
+	}
+	return res
+}
+
+// Comparison holds the paper's headline countermeasure numbers.
+type Comparison struct {
+	Policy           string
+	BaselineRefs     int
+	PrefetchRefs     int
+	ImprovementRatio float64
+}
+
+// Compare runs both algorithms under the given policy and returns the
+// reference counts and the baseline/prefetch improvement ratio.
+func Compare(pol policy.Policy, name string, ways, desired int) Comparison {
+	b := RunBaseline(pol, ways, desired)
+	p := RunPrefetch(pol, ways, desired)
+	ratio := 0.0
+	if p.MemRefs > 0 {
+		ratio = float64(b.MemRefs) / float64(p.MemRefs)
+	}
+	return Comparison{
+		Policy:           name,
+		BaselineRefs:     b.MemRefs,
+		PrefetchRefs:     p.MemRefs,
+		ImprovementRatio: ratio,
+	}
+}
+
+// PaperComparison reproduces the Section VI-D experiment: both algorithms
+// under the stock Intel policy and under the countermeasure policy.
+func PaperComparison(ways, desired int) []Comparison {
+	return []Comparison{
+		Compare(policy.NewQuadAge(), "intel qlru (load=2, nta=3)", ways, desired),
+		Compare(policy.NewQuadAgeCountermeasure(), "countermeasure (load=1, nta=2)", ways, desired),
+	}
+}
+
+// String renders a comparison row.
+func (c Comparison) String() string {
+	return fmt.Sprintf("%-32s baseline=%5d refs  prefetch=%5d refs  improvement=%.2fx",
+		c.Policy, c.BaselineRefs, c.PrefetchRefs, c.ImprovementRatio)
+}

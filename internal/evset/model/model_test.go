@@ -1,0 +1,84 @@
+package model
+
+import (
+	"testing"
+
+	"leakyway/internal/policy"
+)
+
+func TestIntelPolicyAdvantage(t *testing.T) {
+	c := Compare(policy.NewQuadAge(), "intel", 16, 16)
+	if c.ImprovementRatio < 4 {
+		t.Fatalf("improvement = %.2fx, want large (paper: 7.25x)", c.ImprovementRatio)
+	}
+	if c.PrefetchRefs >= c.BaselineRefs {
+		t.Fatal("Algorithm 2 should need fewer references")
+	}
+}
+
+func TestCountermeasureCollapsesAdvantage(t *testing.T) {
+	c := Compare(policy.NewQuadAgeCountermeasure(), "cm", 16, 16)
+	if c.ImprovementRatio > 1.6 || c.ImprovementRatio < 0.6 {
+		t.Fatalf("countermeasure improvement = %.2fx, want ≈1x (paper: 1.26x)", c.ImprovementRatio)
+	}
+}
+
+func TestPaperComparisonShape(t *testing.T) {
+	cs := PaperComparison(16, 16)
+	if len(cs) != 2 {
+		t.Fatalf("got %d comparisons", len(cs))
+	}
+	if cs[0].ImprovementRatio <= cs[1].ImprovementRatio {
+		t.Fatalf("Intel ratio (%.2f) must exceed countermeasure ratio (%.2f)",
+			cs[0].ImprovementRatio, cs[1].ImprovementRatio)
+	}
+	for _, c := range cs {
+		if c.String() == "" {
+			t.Error("empty rendering")
+		}
+	}
+}
+
+func TestPrefetchAlgorithmIsOneShotUnderIntel(t *testing.T) {
+	// With the stock policy, every candidate prefetch evicts the target:
+	// exactly `desired` candidates are consumed.
+	r := RunPrefetch(policy.NewQuadAge(), 16, 16)
+	if r.Candidates != 16 {
+		t.Fatalf("consumed %d candidates, want 16 (one per discovery)", r.Candidates)
+	}
+}
+
+func TestBaselineNeedsManyCandidates(t *testing.T) {
+	r := RunBaseline(policy.NewQuadAge(), 16, 16)
+	if r.Candidates < 8*16 {
+		t.Fatalf("baseline consumed only %d candidates; ~w per discovery expected", r.Candidates)
+	}
+}
+
+func TestModelScalesWithWays(t *testing.T) {
+	for _, ways := range []int{4, 8, 16} {
+		p := RunPrefetch(policy.NewQuadAge(), ways, ways)
+		b := RunBaseline(policy.NewQuadAge(), ways, ways)
+		if p.MemRefs <= 0 || b.MemRefs <= p.MemRefs {
+			t.Fatalf("ways=%d: prefetch %d refs, baseline %d refs", ways, p.MemRefs, b.MemRefs)
+		}
+	}
+}
+
+func TestSetModelBasics(t *testing.T) {
+	s := newSetModel(policy.NewQuadAge(), 4)
+	// Starts full of background lines.
+	for w := 0; w < 4; w++ {
+		if !s.valid[w] {
+			t.Fatal("set should start full")
+		}
+	}
+	s.touch(1, policy.ClassLoad) // miss: evicts a background line
+	if !s.present(1) {
+		t.Fatal("line absent after fill")
+	}
+	s.touch(1, policy.ClassLoad) // hit
+	if !s.present(1) {
+		t.Fatal("line vanished on hit")
+	}
+}

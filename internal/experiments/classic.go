@@ -1,0 +1,55 @@
+package experiments
+
+import (
+	"fmt"
+
+	"leakyway/internal/attack"
+	"leakyway/internal/stats"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "classic",
+		Title: "Extension — the classic shared-memory attacks as baselines",
+		Paper: "Section II-C background: Flush+Reload, Flush+Flush (stealthy), Evict+Reload (no CLFLUSH, much slower reset)",
+		Run:   runClassic,
+	})
+}
+
+func runClassic(ctx *Context) (*Result, error) {
+	res := &Result{}
+	iters := ctx.Trials(1000)
+	cfg := ctx.Platforms[0]
+	rows := [][]string{}
+	for _, v := range []attack.ClassicVariant{attack.FlushReload, attack.FlushFlush, attack.EvictReload} {
+		r := attack.RunClassic(cfg, v, attack.ClassicConfig{Iterations: iters}, ctx.Seed)
+		mean := stats.Mean(r.IterLatencies)
+		rows = append(rows, []string{
+			v.String(),
+			fmt.Sprintf("%.0f", mean),
+			fmt.Sprintf("%.1f%%", 100*r.Accuracy),
+			fmt.Sprintf("%d", r.TargetAccesses),
+		})
+		key := map[attack.ClassicVariant]string{
+			attack.FlushReload: "flush_reload", attack.FlushFlush: "flush_flush", attack.EvictReload: "evict_reload",
+		}[v]
+		res.Metric(key+"_mean", mean)
+		res.Metric(key+"_accuracy", r.Accuracy)
+		res.Metric(key+"_target_accesses", float64(r.TargetAccesses))
+	}
+	// The coherence-state channel (reference [67]) detects *writes* from
+	// pure load timing: no flushes, no evictions.
+	coh := attack.RunCoherence(cfg, attack.ClassicConfig{Iterations: iters}, ctx.Seed)
+	rows = append(rows, []string{
+		"Coherence (write detect)",
+		fmt.Sprintf("%.0f", stats.Mean(coh.IterLatencies)),
+		fmt.Sprintf("%.1f%%", 100*coh.Accuracy),
+		fmt.Sprintf("%d", iters),
+	})
+	res.Metric("coherence_mean", stats.Mean(coh.IterLatencies))
+	res.Metric("coherence_accuracy", coh.Accuracy)
+	renderTable(ctx, []string{"attack", "iteration mean (cyc)", "accuracy", "demand accesses to shared line"}, rows)
+	ctx.Printf("Flush+Flush never touches the shared line (stealth); Evict+Reload pays the conflict-based\n")
+	ctx.Printf("reset the paper's prefetch tricks avoid; the coherence channel sees writes without a single flush\n")
+	return res, nil
+}

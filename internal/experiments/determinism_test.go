@@ -1,0 +1,57 @@
+package experiments
+
+import (
+	"io"
+	"testing"
+)
+
+// TestExperimentsDeterministic re-runs a representative sample of
+// experiments with the same seed and asserts every metric is bit-identical —
+// the reproducibility contract EXPERIMENTS.md makes.
+func TestExperimentsDeterministic(t *testing.T) {
+	sample := []string{"fig2", "fig5", "table2", "fnrate", "fig12", "counter", "defense"}
+	runOnce := func() map[string]map[string]float64 {
+		ctx := NewContext(io.Discard)
+		ctx.Quick = true
+		ctx.Seed = 1234
+		out := map[string]map[string]float64{}
+		for _, id := range sample {
+			r, err := RunOne(ctx, id)
+			if err != nil {
+				t.Fatalf("%s: %v", id, err)
+			}
+			out[id] = r.Metrics
+		}
+		return out
+	}
+	a, b := runOnce(), runOnce()
+	for id, am := range a {
+		bm := b[id]
+		if len(am) != len(bm) {
+			t.Fatalf("%s: metric sets differ in size", id)
+		}
+		for k, v := range am {
+			if bv, ok := bm[k]; !ok || bv != v {
+				t.Errorf("%s/%s: %v vs %v — not deterministic", id, k, v, bv)
+			}
+		}
+	}
+}
+
+// TestSeedActuallyMatters guards against accidentally ignoring the seed: a
+// different seed must change at least one stochastic metric.
+func TestSeedActuallyMatters(t *testing.T) {
+	run := func(seed int64) float64 {
+		ctx := NewContext(io.Discard)
+		ctx.Quick = true
+		ctx.Seed = seed
+		r, err := RunOne(ctx, "fig5")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r.Metrics["dram_mean"]
+	}
+	if run(1) == run(99) {
+		t.Error("different seeds produced identical DRAM-tier jitter; seeding is broken")
+	}
+}

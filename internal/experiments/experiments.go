@@ -1,0 +1,225 @@
+// Package experiments contains one runnable reproduction per table and
+// figure of the paper's evaluation, plus the ablations called out in
+// DESIGN.md. Each experiment renders human-readable output and returns
+// machine-checkable metrics that the test suite and EXPERIMENTS.md assert
+// against.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"leakyway/internal/hier"
+	"leakyway/internal/platform"
+)
+
+// Context carries the shared run parameters.
+type Context struct {
+	// Platforms are the machines to run on (defaults to Table I's two).
+	Platforms []hier.Config
+	// Seed drives every stochastic element.
+	Seed int64
+	// Quick reduces trial counts (used by tests and -quick runs).
+	Quick bool
+	// Out receives the rendered report.
+	Out io.Writer
+}
+
+// NewContext returns a default context writing to out.
+func NewContext(out io.Writer) *Context {
+	return &Context{
+		Platforms: platform.All(),
+		Seed:      42,
+		Out:       out,
+	}
+}
+
+// Trials scales a full trial count down in quick mode.
+func (ctx *Context) Trials(full int) int {
+	if ctx.Quick {
+		n := full / 10
+		if n < 50 {
+			n = 50
+		}
+		if n > full {
+			n = full
+		}
+		return n
+	}
+	return full
+}
+
+// Printf writes to the context's output.
+func (ctx *Context) Printf(format string, args ...any) {
+	if ctx.Out != nil {
+		fmt.Fprintf(ctx.Out, format, args...)
+	}
+}
+
+// Result is an experiment's machine-checkable outcome.
+type Result struct {
+	// Metrics hold named scalar outcomes ("skylake/ntpntp_peak_kbps").
+	Metrics map[string]float64
+}
+
+// Metric records one named value.
+func (r *Result) Metric(name string, v float64) {
+	if r.Metrics == nil {
+		r.Metrics = map[string]float64{}
+	}
+	r.Metrics[name] = v
+}
+
+// Experiment is one table/figure reproduction.
+type Experiment struct {
+	// ID is the registry key ("fig2", "table2", ...).
+	ID string
+	// Title says what it reproduces.
+	Title string
+	// Paper summarizes what the paper reports for this artifact.
+	Paper string
+	// Run executes the experiment.
+	Run func(ctx *Context) (*Result, error)
+}
+
+var registry []Experiment
+
+// paperOrder is the canonical presentation order (paper order, then the
+// ablations).
+var paperOrder = []string{
+	"table1", "fig1", "fig2", "fig3", "fig4", "fig5",
+	"fig6", "fig7", "fig8", "table2",
+	"fig11", "fnrate", "fig9", "fig10", "fig12", "table3",
+	"fig13", "counter", "evset-algos",
+	"classic", "defense", "noninclusive", "selfsync", "pollution", "noise", "resolution", "stealth",
+	"ablate-sets", "ablate-lanes", "ablate-hwpf", "ablate-policy",
+}
+
+func register(e Experiment) {
+	registry = append(registry, e)
+}
+
+// orderOf returns an experiment's rank in the canonical order.
+func orderOf(id string) int {
+	for i, x := range paperOrder {
+		if x == id {
+			return i
+		}
+	}
+	return len(paperOrder)
+}
+
+// All returns the experiments in paper order.
+func All() []Experiment {
+	out := make([]Experiment, len(registry))
+	copy(out, registry)
+	sort.SliceStable(out, func(i, j int) bool { return orderOf(out[i].ID) < orderOf(out[j].ID) })
+	return out
+}
+
+// ByID finds an experiment.
+func ByID(id string) (Experiment, bool) {
+	for _, e := range registry {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// IDs lists all experiment IDs in paper order.
+func IDs() []string {
+	all := All()
+	ids := make([]string, len(all))
+	for i, e := range all {
+		ids[i] = e.ID
+	}
+	return ids
+}
+
+// header prints the experiment banner.
+func header(ctx *Context, e Experiment) {
+	ctx.Printf("\n=== %s — %s ===\n", e.ID, e.Title)
+	if e.Paper != "" {
+		ctx.Printf("paper: %s\n", e.Paper)
+	}
+}
+
+// RunOne executes a single experiment by ID with its banner.
+func RunOne(ctx *Context, id string) (*Result, error) {
+	e, ok := ByID(id)
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown experiment %q (have: %s)", id, strings.Join(IDs(), ", "))
+	}
+	header(ctx, e)
+	return e.Run(ctx)
+}
+
+// RunAll executes every registered experiment in paper order, collecting
+// metrics.
+func RunAll(ctx *Context) (map[string]*Result, error) {
+	out := map[string]*Result{}
+	for _, e := range All() {
+		header(ctx, e)
+		r, err := e.Run(ctx)
+		if err != nil {
+			return out, fmt.Errorf("experiments: %s: %w", e.ID, err)
+		}
+		out[e.ID] = r
+	}
+	return out, nil
+}
+
+// renderTable prints an aligned text table.
+func renderTable(ctx *Context, headers []string, rows [][]string) {
+	widths := make([]int, len(headers))
+	for i, h := range headers {
+		widths[i] = len(h)
+	}
+	for _, row := range rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, cell := range cells {
+			parts[i] = fmt.Sprintf("%-*s", widths[i], cell)
+		}
+		ctx.Printf("  %s\n", strings.TrimRight(strings.Join(parts, "  "), " "))
+	}
+	line(headers)
+	sep := make([]string, len(headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range rows {
+		line(row)
+	}
+}
+
+// sortedMetricNames is a test helper.
+func sortedMetricNames(r *Result) []string {
+	names := make([]string, 0, len(r.Metrics))
+	for k := range r.Metrics {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// shortName maps a platform to a metric prefix.
+func shortName(cfg hier.Config) string {
+	if strings.Contains(cfg.Name, "Kaby") {
+		return "kabylake"
+	}
+	if strings.Contains(cfg.Name, "Skylake") {
+		return "skylake"
+	}
+	return strings.ToLower(strings.Fields(cfg.Name)[0])
+}

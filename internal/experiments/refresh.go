@@ -1,0 +1,209 @@
+package experiments
+
+import (
+	"fmt"
+
+	"leakyway/internal/attack"
+	"leakyway/internal/core"
+	"leakyway/internal/mem"
+	"leakyway/internal/sim"
+	"leakyway/internal/stats"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "fig9",
+		Title: "Figure 9 — Reload+Refresh LLC set state walk",
+		Paper: "the set is filled at age 2 with dt first; the conflict load evicts l0 if the victim accessed dt, else dt itself",
+		Run:   runFig9,
+	})
+	register(Experiment{
+		ID:    "fig10",
+		Title: "Figure 10 — Prefetch+Refresh LLC set state walk",
+		Paper: "the set is prefetched at age 3; the victim's access drops dt to 2, protecting it from the conflict prefetch",
+		Run:   runFig10,
+	})
+	register(Experiment{
+		ID:    "fig12",
+		Title: "Figure 12 — attacker latency per iteration: Reload+Refresh vs Prefetch+Refresh v1/v2",
+		Paper: "1601/1767 cycles (SKL/KBL) for Reload+Refresh, 1165/1369 for v1, 873/1054 for v2",
+		Run:   runFig12,
+	})
+	register(Experiment{
+		ID:    "table3",
+		Title: "Table III — operations for reverting the cache state (16-way LLC)",
+		Paper: "R+R: 2 flushes, 2 DRAM, 14 LLC accesses; v1: 2/2/0; v2: 1/1/0",
+		Run:   runTable3,
+	})
+}
+
+// stateWalk drives one accessed and one idle iteration of a refresh attack
+// with set-state snapshots, for the Figure 9/10 traces.
+func stateWalk(ctx *Context, nta bool) (*Result, error) {
+	res := &Result{}
+	cfg := quietPlatform(ctx.Platforms[0])
+	m := sim.MustNewMachine(cfg, 1<<30, ctx.Seed)
+	attackerAS := m.NewSpace()
+	victimAS := m.NewSpace()
+	dt, err := attackerAS.Alloc(mem.PageSize)
+	if err != nil {
+		return nil, err
+	}
+	if err := victimAS.MapShared(attackerAS, dt, mem.PageSize); err != nil {
+		return nil, err
+	}
+	w := cfg.LLCWays
+	ls := core.MustCongruentLines(m, attackerAS, dt, w)
+
+	tr := core.NewTrace()
+	verdicts := make([]bool, 2)
+
+	const window = int64(40_000)
+	m.SpawnDaemon("victim", 1, victimAS, func(c *sim.Core) {
+		// Window 0: access dt (case a). Window 1: stay idle (case b).
+		c.WaitUntil(window + window/2)
+		c.Load(dt)
+	})
+	m.Spawn("attacker", 0, attackerAS, func(c *sim.Core) {
+		th := core.Calibrate(c, 48)
+		tr.Label(c, dt, "dt")
+		tr.Label(c, ls[0], "l0")
+		tr.Label(c, ls[w-1], "lw-1")
+
+		prepareWalkSet(c, dt, ls, nta)
+		tr.Snap(m, c, dt, "step 1: attacker fills the set (dt first)")
+		op := func(va mem.VAddr) {
+			if nta {
+				c.PrefetchNTA(va)
+			} else {
+				c.Load(va)
+			}
+		}
+		timedOp := func(va mem.VAddr) int64 {
+			if nta {
+				return c.TimedPrefetchNTA(va)
+			}
+			return c.TimedLoad(va)
+		}
+		for it := 0; it < 2; it++ {
+			caseName := "(a) victim accessed dt"
+			if it == 1 {
+				caseName = "(b) victim idle"
+			}
+			c.WaitUntil(window + int64(it+1)*window)
+			tr.Snap(m, c, dt, fmt.Sprintf("step 2 %s: after the wait window", caseName))
+			op(ls[w-1])
+			tr.Snap(m, c, dt, "step 3: conflict on l(w-1)")
+			t := timedOp(dt)
+			verdicts[it] = !th.IsMiss(t)
+			tr.Snap(m, c, dt, fmt.Sprintf("step 4: timed re-access of dt: %d cycles -> accessed=%v", t, verdicts[it]))
+			// Step 5 (v1-style revert for both walks).
+			c.Flush(dt)
+			c.Flush(ls[w-1])
+			op(dt)
+			op(ls[0])
+			if !nta {
+				for i := 1; i < w-1; i++ {
+					c.Load(ls[i])
+				}
+			}
+			tr.Snap(m, c, dt, "step 5: state reverted")
+		}
+	})
+	m.Run()
+
+	ctx.Printf("%s", tr.Render())
+	ok := 0.0
+	if verdicts[0] && !verdicts[1] {
+		ok = 1
+	}
+	ctx.Printf("verdicts: accessed=%v idle=%v (want true,false)\n", verdicts[0], verdicts[1])
+	res.Metric("state_walk_correct", ok)
+	return res, nil
+}
+
+// prepareWalkSet takes ownership of the set and fills it dt-first.
+func prepareWalkSet(c *sim.Core, dt mem.VAddr, ls []mem.VAddr, nta bool) {
+	all := append([]mem.VAddr{dt}, ls...)
+	for round := 0; round < 3; round++ {
+		for _, va := range all {
+			c.Load(va)
+		}
+	}
+	for _, va := range all {
+		c.Flush(va)
+	}
+	c.Fence()
+	fill := func(va mem.VAddr) {
+		if nta {
+			c.PrefetchNTA(va)
+		} else {
+			c.Load(va)
+		}
+	}
+	fill(dt)
+	for i := 0; i < len(ls)-1; i++ {
+		fill(ls[i])
+	}
+}
+
+func runFig9(ctx *Context) (*Result, error)  { return stateWalk(ctx, false) }
+func runFig10(ctx *Context) (*Result, error) { return stateWalk(ctx, true) }
+
+func runFig12(ctx *Context) (*Result, error) {
+	res := &Result{}
+	iters := ctx.Trials(2000)
+	paper := map[string][3]float64{
+		"skylake":  {1601, 1165, 873},
+		"kabylake": {1767, 1369, 1054},
+	}
+	variants := []attack.RefreshVariant{attack.ReloadRefresh, attack.PrefetchRefreshV1, attack.PrefetchRefreshV2}
+	for _, cfg := range ctx.Platforms {
+		ctx.Printf("\n%s\n", cfg.Name)
+		rows := [][]string{}
+		var means [3]float64
+		var all [][]int64
+		for i, v := range variants {
+			r := attack.RunRefresh(cfg, v, attack.RefreshConfig{Iterations: iters}, ctx.Seed)
+			means[i] = stats.Mean(r.IterLatencies)
+			all = append(all, r.IterLatencies)
+			rows = append(rows, []string{
+				v.String(),
+				fmt.Sprintf("%.0f", means[i]),
+				fmt.Sprintf("%.0f", paper[shortName(cfg)][i]),
+				fmt.Sprintf("%.1f%%", 100*r.Accuracy),
+			})
+		}
+		renderTable(ctx, []string{"attack", "iteration mean (cyc)", "paper (cyc)", "detection accuracy"}, rows)
+		lo := stats.NewCDF(all[2]).Quantile(0.02)
+		hi := stats.NewCDF(all[0]).Quantile(0.999)
+		for i, v := range variants {
+			ctx.Printf("%s", stats.NewCDF(all[i]).Render("  CDF "+v.String(), lo, hi, 56))
+		}
+		res.Metric(shortName(cfg)+"/reload_refresh_mean", means[0])
+		res.Metric(shortName(cfg)+"/prefetch_refresh_v1_mean", means[1])
+		res.Metric(shortName(cfg)+"/prefetch_refresh_v2_mean", means[2])
+	}
+	return res, nil
+}
+
+func runTable3(ctx *Context) (*Result, error) {
+	res := &Result{}
+	cfg := ctx.Platforms[0]
+	rows := [][]string{}
+	for _, v := range []attack.RefreshVariant{attack.ReloadRefresh, attack.PrefetchRefreshV1, attack.PrefetchRefreshV2} {
+		r := attack.RunRefresh(cfg, v, attack.RefreshConfig{Iterations: ctx.Trials(300)}, ctx.Seed)
+		rows = append(rows, []string{
+			v.String(),
+			fmt.Sprintf("%d", r.Revert.Flushes),
+			fmt.Sprintf("%d", r.Revert.DRAMAccesses),
+			fmt.Sprintf("%d", r.Revert.LLCAccesses),
+			fmt.Sprintf("%.1f%%", 100*r.Accuracy),
+		})
+		res.Metric(fmt.Sprintf("variant%d/flushes", v), float64(r.Revert.Flushes))
+		res.Metric(fmt.Sprintf("variant%d/dram", v), float64(r.Revert.DRAMAccesses))
+		res.Metric(fmt.Sprintf("variant%d/llc", v), float64(r.Revert.LLCAccesses))
+	}
+	renderTable(ctx, []string{"attack method", "# flushes", "# DRAM accesses", "# LLC accesses", "accuracy"}, rows)
+	return res, nil
+}

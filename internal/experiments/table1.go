@@ -1,0 +1,36 @@
+package experiments
+
+import (
+	"fmt"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "table1",
+		Title: "Table I — specifications of the simulated processors",
+		Paper: "Core i7-6700 (Skylake) and i7-7700K (Kaby Lake): 4 cores, 8-way L1, 4-way non-inclusive L2, 16-way shared inclusive LLC",
+		Run:   runTable1,
+	})
+}
+
+func runTable1(ctx *Context) (*Result, error) {
+	res := &Result{}
+	rows := [][]string{}
+	for _, cfg := range ctx.Platforms {
+		rows = append(rows,
+			[]string{"Platform", cfg.Name},
+			[]string{"Num of cores", fmt.Sprintf("%d", cfg.Cores)},
+			[]string{"Frequency", fmt.Sprintf("%.1f GHz", cfg.FreqGHz)},
+			[]string{"L1", fmt.Sprintf("%d sets x %d ways, private", cfg.L1Sets, cfg.L1Ways)},
+			[]string{"L2", fmt.Sprintf("%d sets x %d ways, private, non-inclusive", cfg.L2Sets, cfg.L2Ways)},
+			[]string{"LLC", fmt.Sprintf("%d slices x %d sets x %d ways, shared, inclusive", cfg.LLCSlices, cfg.LLCSetsPerSlice, cfg.LLCWays)},
+			[]string{"Latency model", fmt.Sprintf("L1 %d / L2 %d / LLC %d / DRAM %d cycles (+timer %d)",
+				cfg.Lat.L1Hit, cfg.Lat.L2Hit, cfg.Lat.LLCHit, cfg.Lat.Mem, cfg.Lat.TimerOverhead)},
+			[]string{"", ""},
+		)
+		res.Metric(shortName(cfg)+"/llc_ways", float64(cfg.LLCWays))
+		res.Metric(shortName(cfg)+"/cores", float64(cfg.Cores))
+	}
+	renderTable(ctx, []string{"Parameter", "Value"}, rows)
+	return res, nil
+}

@@ -1,0 +1,116 @@
+package hier
+
+import (
+	"leakyway/internal/cache"
+	"leakyway/internal/mem"
+)
+
+// Coherence: the private caches keep MESI-style states so that cross-core
+// sharing behaves (and times) like real silicon. A demand load that finds
+// the line Modified in another core's private cache pays a cache-to-cache
+// forwarding penalty and downgrades the owner to Shared; a store to a
+// Shared line pays an invalidation round. These timing differences are
+// themselves a side channel (Yao et al., the paper's reference [67]) and
+// the attack package demonstrates it.
+
+// snoopLoad resolves a demand read that missed the requester's private
+// caches: remote Modified copies are downgraded to Shared (their dirtiness
+// propagating to the LLC copy), remote Exclusive copies degrade to Shared.
+// It returns the extra forwarding latency and whether any remote copy
+// exists (which decides Shared vs Exclusive fill for the requester).
+func (h *Hierarchy) snoopLoad(core int, la mem.LineAddr) (extra int64, shared bool) {
+	for c := 0; c < h.cfg.Cores; c++ {
+		if c == core {
+			continue
+		}
+		for _, pc := range []*cache.Cache{h.l1[c], h.l2[c]} {
+			set := h.l1Set(la)
+			if pc == h.l2[c] {
+				set = h.l2Set(la)
+			}
+			w, ok := pc.Probe(set, la)
+			if !ok {
+				continue
+			}
+			shared = true
+			switch pc.Coh(set, w) {
+			case cache.CohModified:
+				// Forward dirty data; the LLC copy absorbs the
+				// dirtiness and the owner keeps a Shared copy.
+				extra = h.cfg.Lat.CohTransfer
+				h.markLLCDirty(la)
+				pc.SetCoh(set, w, cache.CohShared)
+			case cache.CohExclusive:
+				pc.SetCoh(set, w, cache.CohShared)
+			}
+		}
+	}
+	return extra, shared
+}
+
+// invalidateRemote removes every other core's private copy of la (the RFO /
+// upgrade step of a store). It returns the invalidation latency if any copy
+// existed. A remote Modified copy first forwards its data.
+func (h *Hierarchy) invalidateRemote(core int, la mem.LineAddr) (extra int64) {
+	for c := 0; c < h.cfg.Cores; c++ {
+		if c == core {
+			continue
+		}
+		if w, ok := h.l1[c].Probe(h.l1Set(la), la); ok {
+			if h.l1[c].Coh(h.l1Set(la), w) == cache.CohModified {
+				h.markLLCDirty(la)
+				extra = h.cfg.Lat.CohTransfer
+			}
+			h.l1[c].Invalidate(h.l1Set(la), la)
+			if extra == 0 {
+				extra = h.cfg.Lat.CohInval
+			}
+		}
+		if w, ok := h.l2[c].Probe(h.l2Set(la), la); ok {
+			if h.l2[c].Coh(h.l2Set(la), w) == cache.CohModified {
+				h.markLLCDirty(la)
+				extra = h.cfg.Lat.CohTransfer
+			}
+			h.l2[c].Invalidate(h.l2Set(la), la)
+			if extra == 0 {
+				extra = h.cfg.Lat.CohInval
+			}
+		}
+	}
+	return extra
+}
+
+// setPrivCoh sets the coherence state on the requester's private copies.
+func (h *Hierarchy) setPrivCoh(core int, la mem.LineAddr, st cache.CohState) {
+	if w, ok := h.l1[core].Probe(h.l1Set(la), la); ok {
+		h.l1[core].SetCoh(h.l1Set(la), w, st)
+		if st == cache.CohModified {
+			h.l1[core].MarkDirty(h.l1Set(la), w)
+		}
+	}
+	if w, ok := h.l2[core].Probe(h.l2Set(la), la); ok {
+		h.l2[core].SetCoh(h.l2Set(la), w, st)
+	}
+}
+
+// markLLCDirty flags la's LLC copy as holding forwarded dirty data.
+func (h *Hierarchy) markLLCDirty(la mem.LineAddr) {
+	slice, set := h.geo.Locate(la)
+	if w, ok := h.llc[slice].Probe(set, la); ok {
+		h.llc[slice].MarkDirty(set, w)
+	}
+}
+
+// PrivCoh reports core's coherence state for the line (introspection; the
+// bool is false when the core holds no copy).
+func (h *Hierarchy) PrivCoh(core int, pa mem.PAddr) (cache.CohState, bool) {
+	h.checkCore(core)
+	la := pa.Line()
+	if w, ok := h.l1[core].Probe(h.l1Set(la), la); ok {
+		return h.l1[core].Coh(h.l1Set(la), w), true
+	}
+	if w, ok := h.l2[core].Probe(h.l2Set(la), la); ok {
+		return h.l2[core].Coh(h.l2Set(la), w), true
+	}
+	return 0, false
+}

@@ -1,0 +1,110 @@
+package hier
+
+import (
+	"testing"
+
+	"leakyway/internal/cache"
+	"leakyway/internal/mem"
+)
+
+func TestExclusiveOnSoleLoad(t *testing.T) {
+	h := MustNew(testConfig())
+	pa := mem.PAddr(0x4040)
+	h.Load(0, pa, 0)
+	st, ok := h.PrivCoh(0, pa)
+	if !ok || st != cache.CohExclusive {
+		t.Fatalf("sole loader state = %v,%v; want Exclusive", st, ok)
+	}
+}
+
+func TestSharedOnSecondLoad(t *testing.T) {
+	h := MustNew(testConfig())
+	pa := mem.PAddr(0x4040)
+	h.Load(0, pa, 0)
+	h.Load(1, pa, 1000)
+	for corenum := 0; corenum < 2; corenum++ {
+		st, ok := h.PrivCoh(corenum, pa)
+		if !ok || st != cache.CohShared {
+			t.Fatalf("core %d state = %v,%v; want Shared", corenum, st, ok)
+		}
+	}
+}
+
+func TestStoreObtainsModifiedAndInvalidatesRemotes(t *testing.T) {
+	h := MustNew(testConfig())
+	pa := mem.PAddr(0x4040)
+	h.Load(0, pa, 0)
+	h.Load(1, pa, 1000) // both Shared
+	res := h.Store(0, pa, 2000)
+	if st, ok := h.PrivCoh(0, pa); !ok || st != cache.CohModified {
+		t.Fatalf("writer state = %v,%v; want Modified", st, ok)
+	}
+	if _, ok := h.PrivCoh(1, pa); ok {
+		t.Fatal("remote Shared copy survived a store upgrade")
+	}
+	// The upgrade paid the invalidation round.
+	if res.Latency < testConfig().Lat.L1Hit+testConfig().Lat.CohInval {
+		t.Fatalf("upgrade latency %d missing the invalidation cost", res.Latency)
+	}
+}
+
+func TestRemoteModifiedLoadForwardsAndDowngrades(t *testing.T) {
+	cfg := testConfig()
+	h := MustNew(cfg)
+	pa := mem.PAddr(0x4040)
+	h.Store(0, pa, 0) // core 0 holds M
+	res := h.Load(1, pa, 1000)
+	if res.Level != LevelLLC {
+		t.Fatalf("reader level = %v, want LLC", res.Level)
+	}
+	if res.Latency != cfg.Lat.LLCHit+cfg.Lat.CohTransfer {
+		t.Fatalf("forwarded load latency = %d, want %d",
+			res.Latency, cfg.Lat.LLCHit+cfg.Lat.CohTransfer)
+	}
+	if st, _ := h.PrivCoh(0, pa); st != cache.CohShared {
+		t.Fatalf("owner state after forward = %v, want Shared", st)
+	}
+	if st, _ := h.PrivCoh(1, pa); st != cache.CohShared {
+		t.Fatalf("reader state = %v, want Shared", st)
+	}
+	// The forwarded dirty data landed in the LLC copy.
+	fl := h.Flush(pa, 2000)
+	if fl.Latency != cfg.Lat.FlushDirty {
+		t.Fatalf("flush latency %d; the LLC copy should be dirty after forwarding", fl.Latency)
+	}
+}
+
+func TestCleanRemoteLoadPaysNoPenalty(t *testing.T) {
+	cfg := testConfig()
+	h := MustNew(cfg)
+	pa := mem.PAddr(0x4040)
+	h.Load(0, pa, 0) // clean Exclusive copy at core 0
+	res := h.Load(1, pa, 1000)
+	if res.Latency != cfg.Lat.LLCHit {
+		t.Fatalf("clean cross-core load latency = %d, want %d", res.Latency, cfg.Lat.LLCHit)
+	}
+}
+
+func TestStoreMissPerformsRFO(t *testing.T) {
+	h := MustNew(testConfig())
+	pa := mem.PAddr(0x4040)
+	h.Load(1, pa, 0) // core 1 holds E
+	h.Store(0, pa, 1000)
+	if st, ok := h.PrivCoh(0, pa); !ok || st != cache.CohModified {
+		t.Fatalf("writer state = %v,%v; want Modified", st, ok)
+	}
+	if _, ok := h.PrivCoh(1, pa); ok {
+		t.Fatal("remote copy survived an RFO")
+	}
+}
+
+func TestRepeatedStoresStayCheap(t *testing.T) {
+	cfg := testConfig()
+	h := MustNew(cfg)
+	pa := mem.PAddr(0x4040)
+	h.Store(0, pa, 0)
+	res := h.Store(0, pa, 1000)
+	if res.Latency != cfg.Lat.L1Hit {
+		t.Fatalf("store to own Modified line cost %d, want plain L1 hit %d", res.Latency, cfg.Lat.L1Hit)
+	}
+}

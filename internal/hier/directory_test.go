@@ -1,0 +1,127 @@
+package hier
+
+import (
+	"testing"
+
+	"leakyway/internal/mem"
+)
+
+func directoryConfig(ntaVictim bool) Config {
+	cfg := testConfig()
+	cfg.L1Ways = 8 // room for the fillers next to dr, as on real parts
+	cfg.NonInclusive = true
+	cfg.DirectoryWays = 8
+	cfg.DirectoryNTAIsVictim = ntaVictim
+	return cfg
+}
+
+func TestDirectoryValidation(t *testing.T) {
+	bad := testConfig()
+	bad.DirectoryWays = 8 // inclusive + directory: invalid
+	if _, err := New(bad); err == nil {
+		t.Error("directory without NonInclusive accepted")
+	}
+	bad = testConfig()
+	bad.NonInclusive = true
+	bad.DirectoryWays = -1
+	if _, err := New(bad); err == nil {
+		t.Error("negative DirectoryWays accepted")
+	}
+}
+
+func TestDirectoryTracksPrivateFills(t *testing.T) {
+	h := MustNew(directoryConfig(true))
+	pa := mem.PAddr(0x4040)
+	h.Load(0, pa, 0)
+	if !h.DirPresent(pa) {
+		t.Fatal("loaded line not tracked by the directory")
+	}
+	h.Flush(pa, 100)
+	if h.DirPresent(pa) {
+		t.Fatal("flushed line still tracked")
+	}
+}
+
+func TestDirectoryEvictionBackInvalidates(t *testing.T) {
+	h := MustNew(directoryConfig(true))
+	victim := mem.PAddr(0x4040)
+	h.Load(0, victim, 0)
+	// Thrash the directory set from another core: directory ways (8) +
+	// the victim overflow the set and back-invalidate the victim.
+	lines := congruentLines(h, victim, 16)
+	now := int64(1000)
+	for round := 0; round < 3; round++ {
+		for _, pa := range lines {
+			h.Load(1, pa, now)
+			now += 1000
+		}
+	}
+	if h.PresentInCore(LevelL1, 0, victim) || h.PresentInCore(LevelL2, 0, victim) {
+		t.Fatal("directory pressure did not back-invalidate the private copy")
+	}
+}
+
+func TestDirectoryNTPPrimitive(t *testing.T) {
+	// The Section VI-B conjecture: with NTA entries installed as directory
+	// eviction candidates, one remote NTA evicts the other party's entry
+	// and back-invalidates its line — conflicts without priming, no LLC
+	// involved.
+	h := MustNew(directoryConfig(true))
+	dr := mem.PAddr(0x4040)
+	lines := congruentLines(h, dr, 8)
+	now := int64(0)
+	// Receiver fills the directory set around dr: 4 fillers, dr (via
+	// PREFETCHNTA, mid-sequence so scan order does not favour it), then
+	// 3 more fillers.
+	for _, pa := range lines[:4] {
+		h.Load(1, pa, now)
+		now += 1000
+	}
+	h.PrefetchNTA(1, dr, now) // receiver: L1 + directory entry at age 3
+	now += 1000
+	if !h.DirPresent(dr) || h.Present(LevelLLC, dr) {
+		t.Fatal("NTA should create a directory entry and skip the LLC")
+	}
+	for _, pa := range lines[4:7] {
+		h.Load(1, pa, now)
+		now += 1000
+	}
+	if !h.PresentInCore(LevelL1, 1, dr) {
+		t.Fatal("receiver lost dr prematurely")
+	}
+	// Sender's single NTA displaces the candidate (dr's entry).
+	ds := lines[7]
+	h.PrefetchNTA(0, ds, now)
+	if h.PresentInCore(LevelL1, 1, dr) {
+		t.Fatal("sender's NTA did not evict dr via the directory")
+	}
+	// The receiver's re-prefetch of dr is a DRAM miss: the readable signal.
+	res := h.PrefetchNTA(1, dr, now+1000)
+	if res.Level != LevelMem {
+		t.Fatalf("receiver probe level = %v, want DRAM", res.Level)
+	}
+}
+
+func TestDirectoryWithoutConjecture(t *testing.T) {
+	// With DirectoryNTAIsVictim off, the NTA entry behaves like a demand
+	// entry and a single remote fill does not displace it.
+	h := MustNew(directoryConfig(false))
+	dr := mem.PAddr(0x4040)
+	lines := congruentLines(h, dr, 8)
+	now := int64(0)
+	for _, pa := range lines[:4] {
+		h.Load(1, pa, now)
+		now += 1000
+	}
+	h.PrefetchNTA(1, dr, now)
+	now += 1000
+	for _, pa := range lines[4:7] {
+		h.Load(1, pa, now)
+		now += 1000
+	}
+	ds := lines[7]
+	h.PrefetchNTA(0, ds, now)
+	if !h.PresentInCore(LevelL1, 1, dr) {
+		t.Fatal("without the conjecture, one NTA should not reliably evict the fresh entry")
+	}
+}

@@ -1,0 +1,387 @@
+package hier
+
+import (
+	"fmt"
+	"math/rand"
+
+	"leakyway/internal/cache"
+	"leakyway/internal/mem"
+	"leakyway/internal/policy"
+)
+
+// Level identifies where in the hierarchy a request was serviced.
+type Level int
+
+// Hierarchy levels, nearest first.
+const (
+	LevelL1 Level = iota
+	LevelL2
+	LevelLLC
+	LevelMem
+)
+
+// String implements fmt.Stringer.
+func (l Level) String() string {
+	switch l {
+	case LevelL1:
+		return "L1"
+	case LevelL2:
+		return "L2"
+	case LevelLLC:
+		return "LLC"
+	case LevelMem:
+		return "DRAM"
+	}
+	return "?"
+}
+
+// Result reports the outcome of one memory operation.
+type Result struct {
+	// Level is where the data was found.
+	Level Level
+	// Latency is the cycle cost of the operation (jittered).
+	Latency int64
+	// Dropped is true when an LLC fill could not displace any line
+	// because every way was in flight; the data was consumed uncached.
+	Dropped bool
+}
+
+// Hierarchy is one simulated processor's cache system. It is not
+// goroutine-safe; the sim package serializes all access.
+type Hierarchy struct {
+	cfg Config
+	geo *mem.Geometry
+	l1  []*cache.Cache // per core
+	l2  []*cache.Cache // per core
+	llc []*cache.Cache // per slice
+	dir []*cache.Cache // coherence directory per slice (non-inclusive mode)
+	rng *rand.Rand
+	pf  []*corePrefetcher // per core, nil when disabled
+}
+
+// New builds a hierarchy from the config.
+func New(cfg Config) (*Hierarchy, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	cfg = cfg.withDefaults()
+	geo, err := mem.NewGeometry(cfg.LLCSlices, cfg.LLCSetsPerSlice)
+	if err != nil {
+		return nil, err
+	}
+	h := &Hierarchy{
+		cfg: cfg,
+		geo: geo,
+		rng: rand.New(rand.NewSource(cfg.Seed ^ 0x1ea11e57)),
+	}
+	for c := 0; c < cfg.Cores; c++ {
+		h.l1 = append(h.l1, cache.New(cache.Config{
+			Name: fmt.Sprintf("L1.%d", c), Sets: cfg.L1Sets, Ways: cfg.L1Ways, Pol: cfg.L1Policy,
+		}))
+		h.l2 = append(h.l2, cache.New(cache.Config{
+			Name: fmt.Sprintf("L2.%d", c), Sets: cfg.L2Sets, Ways: cfg.L2Ways, Pol: cfg.L2Policy,
+		}))
+	}
+	for s := 0; s < cfg.LLCSlices; s++ {
+		h.llc = append(h.llc, cache.New(cache.Config{
+			Name: fmt.Sprintf("LLC.%d", s), Sets: cfg.LLCSetsPerSlice, Ways: cfg.LLCWays, Pol: cfg.LLCPolicy,
+		}))
+	}
+	if cfg.NonInclusive && cfg.DirectoryWays > 0 {
+		for s := 0; s < cfg.LLCSlices; s++ {
+			h.dir = append(h.dir, cache.New(cache.Config{
+				Name: fmt.Sprintf("DIR.%d", s), Sets: cfg.LLCSetsPerSlice, Ways: cfg.DirectoryWays, Pol: policy.NewQuadAge(),
+			}))
+		}
+	}
+	if cfg.HWPrefetch.AdjacentLine || cfg.HWPrefetch.Stream {
+		h.pf = make([]*corePrefetcher, cfg.Cores)
+		for c := range h.pf {
+			h.pf[c] = newCorePrefetcher(cfg.HWPrefetch)
+		}
+	}
+	return h, nil
+}
+
+// MustNew is New for static configs; it panics on error.
+func MustNew(cfg Config) *Hierarchy {
+	h, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return h
+}
+
+// Config returns the (defaulted) configuration.
+func (h *Hierarchy) Config() Config { return h.cfg }
+
+// Geometry exposes the LLC mapping.
+func (h *Hierarchy) Geometry() *mem.Geometry { return h.geo }
+
+// set-index helpers
+func (h *Hierarchy) l1Set(la mem.LineAddr) int { return int(uint64(la) % uint64(h.cfg.L1Sets)) }
+func (h *Hierarchy) l2Set(la mem.LineAddr) int { return int(uint64(la) % uint64(h.cfg.L2Sets)) }
+
+func (h *Hierarchy) checkCore(core int) {
+	if core < 0 || core >= h.cfg.Cores {
+		panic(fmt.Sprintf("hier: core %d out of range [0,%d)", core, h.cfg.Cores))
+	}
+}
+
+// Load performs a demand load by core at cycle now.
+func (h *Hierarchy) Load(core int, pa mem.PAddr, now int64) Result {
+	h.checkCore(core)
+	la := pa.Line()
+	lat := &h.cfg.Lat
+
+	// L1 hit: private hit, no LLC state change (the property Prime+Scope
+	// depends on: scoping the candidate from L1 leaves its LLC age alone).
+	if h.l1[core].Lookup(h.l1Set(la), la, policy.ClassLoad) {
+		return Result{Level: LevelL1, Latency: sample(h.rng, lat.L1Hit, lat.L1Jit)}
+	}
+	h.hwPrefetch(core, la, now)
+
+	// L2 hit: refill L1 (inheriting the L2 copy's coherence state),
+	// still no LLC change.
+	if w, ok := h.l2[core].Probe(h.l2Set(la), la); ok {
+		st := h.l2[core].Coh(h.l2Set(la), w)
+		h.l2[core].Lookup(h.l2Set(la), la, policy.ClassLoad)
+		l := sample(h.rng, lat.L2Hit, lat.L2Jit)
+		h.fillL1(core, la, policy.ClassLoad, now, now+l)
+		h.setPrivCoh(core, la, st)
+		return Result{Level: LevelL2, Latency: l}
+	}
+
+	// Past the private caches: resolve coherence with the other cores
+	// (a remote Modified copy forwards with a latency penalty; any remote
+	// copy makes the requester's fill Shared rather than Exclusive).
+	extra, sharedRem := h.snoopLoad(core, la)
+	st := cache.CohExclusive
+	if sharedRem {
+		st = cache.CohShared
+	}
+
+	// LLC hit: demand hit updates the line's age (decrement), refills the
+	// private levels.
+	slice, set := h.geo.Locate(la)
+	if h.llc[slice].Lookup(set, la, policy.ClassLoad) {
+		l := sample(h.rng, lat.LLCHit, lat.LLCJit) + extra
+		h.fillL2(core, la, policy.ClassLoad, now, now+l)
+		h.fillL1(core, la, policy.ClassLoad, now, now+l)
+		h.setPrivCoh(core, la, st)
+		return Result{Level: LevelLLC, Latency: l}
+	}
+
+	// DRAM: fill the inclusive LLC first, then the private levels.
+	l := sample(h.rng, lat.Mem, lat.MemJit) + extra
+	if !h.fillLLC(core, la, policy.ClassLoad, now, now+l) {
+		return Result{Level: LevelMem, Latency: l, Dropped: true}
+	}
+	h.fillL2(core, la, policy.ClassLoad, now, now+l)
+	h.fillL1(core, la, policy.ClassLoad, now, now+l)
+	h.setPrivCoh(core, la, st)
+	return Result{Level: LevelMem, Latency: l}
+}
+
+// Store is a demand store: it obtains the line in Modified state. A hit on
+// a Shared copy pays a remote-invalidation round; a miss performs a
+// read-for-ownership (load + invalidate). The resulting timing differences
+// are the coherence side channel of the paper's reference [67].
+func (h *Hierarchy) Store(core int, pa mem.PAddr, now int64) Result {
+	h.checkCore(core)
+	la := pa.Line()
+	if w, ok := h.l1[core].Probe(h.l1Set(la), la); ok {
+		st := h.l1[core].Coh(h.l1Set(la), w)
+		h.l1[core].Touch(h.l1Set(la), w, policy.ClassLoad)
+		l := sample(h.rng, h.cfg.Lat.L1Hit, h.cfg.Lat.L1Jit)
+		if st == cache.CohShared {
+			l += h.invalidateRemote(core, la)
+		}
+		h.setPrivCoh(core, la, cache.CohModified)
+		return Result{Level: LevelL1, Latency: l}
+	}
+	res := h.Load(core, pa, now)
+	res.Latency += h.invalidateRemote(core, la)
+	h.setPrivCoh(core, la, cache.CohModified)
+	return res
+}
+
+// PrefetchNTA performs a non-temporal software prefetch, the instruction the
+// paper reverse-engineers:
+//
+//   - miss everywhere → the line is installed in the LLC *as the eviction
+//     candidate* (quad-age 3; Property #1) and in the requesting core's L1,
+//     bypassing L2;
+//   - LLC hit → the line's LLC age is NOT updated (Property #2), and the
+//     line is pulled into L1;
+//   - latency depends on where the line was found (Property #3).
+func (h *Hierarchy) PrefetchNTA(core int, pa mem.PAddr, now int64) Result {
+	h.checkCore(core)
+	la := pa.Line()
+	lat := &h.cfg.Lat
+
+	if h.l1[core].Lookup(h.l1Set(la), la, policy.ClassNTA) {
+		return Result{Level: LevelL1, Latency: sample(h.rng, lat.L1Hit, lat.L1Jit)}
+	}
+	if h.l2[core].Lookup(h.l2Set(la), la, policy.ClassNTA) {
+		l := sample(h.rng, lat.L2Hit, lat.L2Jit)
+		h.fillL1(core, la, policy.ClassNTA, now, now+l)
+		return Result{Level: LevelL2, Latency: l}
+	}
+	slice, set := h.geo.Locate(la)
+	if h.llc[slice].Lookup(set, la, policy.ClassNTA) {
+		// ClassNTA hit: QuadAge leaves the age untouched (Property #2).
+		l := sample(h.rng, lat.LLCHit, lat.LLCJit)
+		h.fillL1(core, la, policy.ClassNTA, now, now+l)
+		return Result{Level: LevelLLC, Latency: l}
+	}
+	l := sample(h.rng, lat.Mem, lat.MemJit)
+	if h.cfg.NonInclusive {
+		// On non-inclusive parts PREFETCHNTA brings the line only into
+		// the requesting core's L1 (and the coherence directory) — the
+		// LLC never sees it, which is why NTP+NTP does not transfer to
+		// those platforms (Section VI-B).
+		h.fillL1(core, la, policy.ClassNTA, now, now+l)
+		return Result{Level: LevelMem, Latency: l}
+	}
+	if !h.fillLLC(core, la, policy.ClassNTA, now, now+l) {
+		return Result{Level: LevelMem, Latency: l, Dropped: true}
+	}
+	h.fillL1(core, la, policy.ClassNTA, now, now+l)
+	return Result{Level: LevelMem, Latency: l}
+}
+
+// PrefetchT0 performs a temporal software prefetch: identical routing to a
+// demand load (fills all levels, normal insertion age), used as a contrast
+// in the characterization experiments.
+func (h *Hierarchy) PrefetchT0(core int, pa mem.PAddr, now int64) Result {
+	h.checkCore(core)
+	la := pa.Line()
+	lat := &h.cfg.Lat
+	if h.l1[core].Lookup(h.l1Set(la), la, policy.ClassT0) {
+		return Result{Level: LevelL1, Latency: sample(h.rng, lat.L1Hit, lat.L1Jit)}
+	}
+	if h.l2[core].Lookup(h.l2Set(la), la, policy.ClassT0) {
+		l := sample(h.rng, lat.L2Hit, lat.L2Jit)
+		h.fillL1(core, la, policy.ClassT0, now, now+l)
+		return Result{Level: LevelL2, Latency: l}
+	}
+	slice, set := h.geo.Locate(la)
+	if h.llc[slice].Lookup(set, la, policy.ClassT0) {
+		l := sample(h.rng, lat.LLCHit, lat.LLCJit)
+		h.fillL2(core, la, policy.ClassT0, now, now+l)
+		h.fillL1(core, la, policy.ClassT0, now, now+l)
+		return Result{Level: LevelLLC, Latency: l}
+	}
+	l := sample(h.rng, lat.Mem, lat.MemJit)
+	if !h.fillLLC(core, la, policy.ClassT0, now, now+l) {
+		return Result{Level: LevelMem, Latency: l, Dropped: true}
+	}
+	h.fillL2(core, la, policy.ClassT0, now, now+l)
+	h.fillL1(core, la, policy.ClassT0, now, now+l)
+	return Result{Level: LevelMem, Latency: l}
+}
+
+// Flush is CLFLUSH: it removes the line from every cache in the system and
+// reports a latency that depends on whether (and how) the line was cached,
+// which is what Flush+Flush-style timing keys on.
+func (h *Hierarchy) Flush(pa mem.PAddr, now int64) Result {
+	la := pa.Line()
+	lat := &h.cfg.Lat
+	present, dirty := false, false
+	for c := 0; c < h.cfg.Cores; c++ {
+		if p, d := h.l1[c].Invalidate(h.l1Set(la), la); p {
+			present, dirty = true, dirty || d
+		}
+		if p, d := h.l2[c].Invalidate(h.l2Set(la), la); p {
+			present, dirty = true, dirty || d
+		}
+	}
+	slice, set := h.geo.Locate(la)
+	if p, d := h.llc[slice].Invalidate(set, la); p {
+		present, dirty = true, dirty || d
+	}
+	h.dirDrop(la)
+	base := lat.FlushAbsent
+	level := LevelMem
+	switch {
+	case dirty:
+		base = lat.FlushDirty
+		level = LevelLLC
+	case present:
+		base = lat.FlushPresent
+		level = LevelLLC
+	}
+	return Result{Level: level, Latency: sample(h.rng, base, lat.FlushJit)}
+}
+
+// FenceLatency returns the cost of an LFENCE.
+func (h *Hierarchy) FenceLatency() int64 { return h.cfg.Lat.Fence }
+
+// fillL1 installs la into core's L1 (evictions are silent; a dirty victim
+// propagates its dirtiness to an L2/LLC copy when present). The coherence
+// directory, when present, tracks the fill.
+func (h *Hierarchy) fillL1(core int, la mem.LineAddr, cls policy.AccessClass, now, ready int64) {
+	ev, evicted, _ := h.l1[core].Fill(h.l1Set(la), la, cls, now, ready)
+	if evicted && ev.Dirty {
+		h.propagateDirty(core, ev.Addr)
+	}
+	h.dirTouch(la, cls, now, ready)
+}
+
+// fillL2 installs la into core's L2 (non-inclusive: evictions do not touch
+// the L1).
+func (h *Hierarchy) fillL2(core int, la mem.LineAddr, cls policy.AccessClass, now, ready int64) {
+	ev, evicted, _ := h.l2[core].Fill(h.l2Set(la), la, cls, now, ready)
+	if evicted && ev.Dirty {
+		h.propagateDirty(core, ev.Addr)
+	}
+}
+
+// propagateDirty marks a written-back victim's outer copy dirty.
+func (h *Hierarchy) propagateDirty(core int, la mem.LineAddr) {
+	if w, ok := h.l2[core].Probe(h.l2Set(la), la); ok {
+		h.l2[core].MarkDirty(h.l2Set(la), w)
+		return
+	}
+	slice, set := h.geo.Locate(la)
+	if w, ok := h.llc[slice].Probe(set, la); ok {
+		h.llc[slice].MarkDirty(set, w)
+	}
+}
+
+// fillLLC installs la into the LLC on behalf of core and enforces
+// inclusion: the displaced line is back-invalidated from every private
+// cache. Under way partitioning the fill is restricted to the core's own
+// ways. Returns false when the fill was dropped because no permitted way
+// could be replaced.
+func (h *Hierarchy) fillLLC(core int, la mem.LineAddr, cls policy.AccessClass, now, ready int64) bool {
+	slice, set := h.geo.Locate(la)
+	var allowed func(way int) bool
+	if n := h.cfg.LLCPartitionWays; n > 0 {
+		lo, hi := core*n, (core+1)*n
+		allowed = func(way int) bool { return way >= lo && way < hi }
+	}
+	ev, evicted, ok := h.llc[slice].FillRestricted(set, la, cls, now, ready, allowed)
+	if !ok {
+		return false
+	}
+	if evicted {
+		h.backInvalidate(ev.Addr)
+	}
+	return true
+}
+
+// backInvalidate removes a line evicted from the inclusive LLC from every
+// core's private caches — the mechanism that makes cross-core LLC attacks
+// observable at all. Non-inclusive LLCs skip it: private copies outlive the
+// LLC line.
+func (h *Hierarchy) backInvalidate(la mem.LineAddr) {
+	if h.cfg.NonInclusive {
+		return
+	}
+	for c := 0; c < h.cfg.Cores; c++ {
+		h.l1[c].Invalidate(h.l1Set(la), la)
+		h.l2[c].Invalidate(h.l2Set(la), la)
+	}
+}

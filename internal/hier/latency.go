@@ -1,0 +1,72 @@
+package hier
+
+import "math/rand"
+
+// LatencyConfig is the cycle-cost model. Base values are calibrated so that
+// *timed* operations (base + timer overhead + jitter) land in the ranges the
+// paper reports on real silicon: an L1-hit load times at ≈70 cycles, an
+// LLC hit at 90–100, and a DRAM access at more than 200 (Figure 5).
+type LatencyConfig struct {
+	L1Hit  int64 // load/prefetch serviced by the local L1
+	L2Hit  int64 // serviced by the local L2
+	LLCHit int64 // serviced by the shared LLC
+	Mem    int64 // serviced by DRAM
+
+	// Jitter amplitudes (± uniform) for each tier.
+	L1Jit, L2Jit, LLCJit, MemJit int64
+
+	// CLFLUSH costs, split by whether the line was cached (flushing a
+	// cached — especially dirty — line is slower, the effect Flush+Flush
+	// keys on).
+	FlushPresent int64
+	FlushDirty   int64
+	FlushAbsent  int64
+	FlushJit     int64
+
+	// CohTransfer is the extra cost of a load serviced by cache-to-cache
+	// forwarding from another core's Modified copy.
+	CohTransfer int64
+	// CohInval is the cost of invalidating remote Shared copies on a
+	// store upgrade.
+	CohInval int64
+
+	// PTWalkBase and PTWalkStep model the page-table walk a prefetch of
+	// an unmapped (e.g. kernel) address performs: total walk time is
+	// PTWalkBase + resolvedLevels*PTWalkStep. The dependence on how deep
+	// the translation resolves is the KASLR-breaking prefetch side
+	// channel of the paper's Section VI-C related work.
+	PTWalkBase int64
+	PTWalkStep int64
+
+	// Fence is the cost of LFENCE-style serialization.
+	Fence int64
+
+	// TimerOverhead is the fixed cost of an RDTSC-bracketed measurement;
+	// TimerJit its noise. Timed ops return base+overhead+jitter.
+	TimerOverhead int64
+	TimerJit      int64
+}
+
+// DefaultLatency returns the Skylake-flavoured calibration used by most
+// tests: timed L1 hit ≈ 69, timed LLC hit ≈ 95, timed DRAM ≈ 225.
+func DefaultLatency() LatencyConfig {
+	return LatencyConfig{
+		L1Hit: 4, L2Hit: 12, LLCHit: 30, Mem: 160,
+		L1Jit: 1, L2Jit: 2, LLCJit: 4, MemJit: 15,
+		FlushPresent: 110, FlushDirty: 140, FlushAbsent: 80, FlushJit: 8,
+		CohTransfer:   28,
+		CohInval:      22,
+		PTWalkBase:    40,
+		PTWalkStep:    26,
+		Fence:         10,
+		TimerOverhead: 65, TimerJit: 3,
+	}
+}
+
+// sample draws base ± jit using the hierarchy's RNG.
+func sample(rng *rand.Rand, base, jit int64) int64 {
+	if jit <= 0 {
+		return base
+	}
+	return base + rng.Int63n(2*jit+1) - jit
+}

@@ -1,0 +1,73 @@
+package hier
+
+import (
+	"testing"
+
+	"leakyway/internal/mem"
+)
+
+func nonInclusiveConfig() Config {
+	cfg := testConfig()
+	cfg.NonInclusive = true
+	return cfg
+}
+
+func TestNonInclusiveNTASkipsLLC(t *testing.T) {
+	h := MustNew(nonInclusiveConfig())
+	pa := mem.PAddr(0x4040)
+	res := h.PrefetchNTA(0, pa, 0)
+	if res.Level != LevelMem {
+		t.Fatalf("cold NTA level = %v", res.Level)
+	}
+	if !h.PresentInCore(LevelL1, 0, pa) {
+		t.Error("NTA should still fill the local L1")
+	}
+	if h.Present(LevelLLC, pa) {
+		t.Error("non-inclusive LLC must not receive PREFETCHNTA fills (Section VI-B)")
+	}
+}
+
+func TestNonInclusiveNoBackInvalidation(t *testing.T) {
+	h := MustNew(nonInclusiveConfig())
+	victim := mem.PAddr(0x4040)
+	h.Load(0, victim, 0)
+	// Thrash the LLC set from another core.
+	evset := congruentLines(h, victim, h.Config().LLCWays+1)
+	now := int64(1000)
+	for round := 0; round < 4; round++ {
+		for _, pa := range evset {
+			h.Load(1, pa, now)
+			now += 1000
+		}
+	}
+	if h.Present(LevelLLC, victim) {
+		t.Fatal("victim line survived LLC thrashing")
+	}
+	if !h.PresentInCore(LevelL1, 0, victim) {
+		t.Fatal("non-inclusive eviction must leave the private copy alive")
+	}
+	// The owner still hits locally — the eviction is invisible to it,
+	// which is exactly why inclusive-LLC attacks do not transfer.
+	if res := h.Load(0, victim, now); res.Level != LevelL1 {
+		t.Fatalf("owner's reload level = %v, want L1", res.Level)
+	}
+}
+
+func TestNonInclusiveConflictPrimitiveDead(t *testing.T) {
+	// The NTP+NTP primitive: a second NTA cannot evict the first agent's
+	// prefetched line via the LLC, because neither line is ever in it.
+	h := MustNew(nonInclusiveConfig())
+	dr := mem.PAddr(0x4040)
+	h.PrefetchNTA(1, dr, 0)
+	lines := congruentLines(h, dr, 8)
+	now := int64(1000)
+	for _, pa := range lines {
+		h.PrefetchNTA(0, pa, now)
+		now += 1000
+	}
+	// dr still answers from the receiver's L1: the receiver can never
+	// observe the sender.
+	if res := h.PrefetchNTA(1, dr, now); res.Level != LevelL1 {
+		t.Fatalf("receiver's probe level = %v, want L1 (no observable conflict)", res.Level)
+	}
+}

@@ -1,0 +1,111 @@
+package hier
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"leakyway/internal/mem"
+)
+
+// TestInclusionInvariantUnderRandomOps drives the hierarchy with random
+// operation sequences and checks, after every step, that every line present
+// in any private cache is also present in the LLC — the inclusion property
+// all the paper's cross-core attacks depend on.
+func TestInclusionInvariantUnderRandomOps(t *testing.T) {
+	f := func(seed int64, ops []uint16) bool {
+		cfg := testConfig()
+		cfg.Seed = seed
+		h := MustNew(cfg)
+		rng := rand.New(rand.NewSource(seed))
+		// A small physical region so sets conflict often.
+		addrs := make([]mem.PAddr, 64)
+		for i := range addrs {
+			addrs[i] = mem.PAddr(rng.Intn(1<<14)) &^ (mem.LineSize - 1)
+		}
+		now := int64(0)
+		for _, op := range ops {
+			pa := addrs[int(op)%len(addrs)]
+			corenum := int(op>>6) % cfg.Cores
+			now += 500
+			switch (op >> 8) % 5 {
+			case 0, 1:
+				h.Load(corenum, pa, now)
+			case 2:
+				h.PrefetchNTA(corenum, pa, now)
+			case 3:
+				h.Store(corenum, pa, now)
+			case 4:
+				h.Flush(pa, now)
+			}
+			// Inclusion check over the touched working set.
+			for _, a := range addrs {
+				private := false
+				for c := 0; c < cfg.Cores; c++ {
+					if h.PresentInCore(LevelL1, c, a) || h.PresentInCore(LevelL2, c, a) {
+						private = true
+						break
+					}
+				}
+				if private && !h.Present(LevelLLC, a) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestLatencyMatchesLevel: for every random op, the reported latency must
+// belong to the reported level's band.
+func TestLatencyMatchesLevel(t *testing.T) {
+	cfg := testConfig()
+	lat := cfg.Lat
+	h := MustNew(cfg)
+	rng := rand.New(rand.NewSource(3))
+	now := int64(0)
+	for i := 0; i < 3000; i++ {
+		pa := mem.PAddr(rng.Intn(1<<13)) &^ (mem.LineSize - 1)
+		corenum := rng.Intn(cfg.Cores)
+		now += 300
+		res := h.Load(corenum, pa, now)
+		var want int64
+		switch res.Level {
+		case LevelL1:
+			want = lat.L1Hit
+		case LevelL2:
+			want = lat.L2Hit
+		case LevelLLC:
+			want = lat.LLCHit
+		case LevelMem:
+			want = lat.Mem
+		}
+		if res.Latency != want {
+			t.Fatalf("op %d: level %v latency %d, want %d", i, res.Level, res.Latency, want)
+		}
+	}
+}
+
+// TestOccupancyNeverExceedsWays: no LLC set ever reports more valid lines
+// than its associativity, under heavy random churn.
+func TestOccupancyNeverExceedsWays(t *testing.T) {
+	cfg := testConfig()
+	h := MustNew(cfg)
+	rng := rand.New(rand.NewSource(11))
+	now := int64(0)
+	for i := 0; i < 5000; i++ {
+		pa := mem.PAddr(rng.Intn(1<<15)) &^ (mem.LineSize - 1)
+		now += 300
+		if rng.Intn(3) == 0 {
+			h.PrefetchNTA(rng.Intn(cfg.Cores), pa, now)
+		} else {
+			h.Load(rng.Intn(cfg.Cores), pa, now)
+		}
+		if occ := h.LLCOccupancy(pa); occ > cfg.LLCWays {
+			t.Fatalf("set occupancy %d exceeds %d ways", occ, cfg.LLCWays)
+		}
+	}
+}

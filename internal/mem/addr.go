@@ -1,0 +1,70 @@
+// Package mem models the physical and virtual memory substrate under the
+// cache simulator: line and page arithmetic, a randomized physical frame
+// allocator, per-process virtual address spaces, and the last-level-cache
+// slice/set geometry (including an Intel-style slice hash).
+//
+// The point of modelling virtual memory at all is fidelity to the paper's
+// threat model: an unprivileged attacker controls the low 12 bits of a
+// physical address (the page offset) but not the high bits, so LLC set
+// congruence beyond bit 11 must be discovered with an eviction-set
+// construction algorithm rather than computed.
+package mem
+
+import "fmt"
+
+// Fundamental geometry constants. These match the Intel parts in the paper
+// (Table I): 64-byte cache lines and 4 KiB pages.
+const (
+	LineBits     = 6             // log2(LineSize)
+	LineSize     = 1 << LineBits // bytes per cache line
+	PageBits     = 12            // log2(PageSize)
+	PageSize     = 1 << PageBits // bytes per page
+	LinesPerPage = PageSize / LineSize
+)
+
+// PAddr is a physical byte address.
+type PAddr uint64
+
+// VAddr is a virtual byte address inside some AddressSpace.
+type VAddr uint64
+
+// LineAddr is a physical address shifted down by LineBits: it identifies one
+// cache line in physical memory. All cache-internal bookkeeping uses
+// LineAddr so that off-by-offset bugs cannot alias distinct lines.
+type LineAddr uint64
+
+// Line returns the cache line containing the physical address.
+func (p PAddr) Line() LineAddr { return LineAddr(p >> LineBits) }
+
+// Offset returns the byte offset of p within its cache line.
+func (p PAddr) Offset() uint64 { return uint64(p) & (LineSize - 1) }
+
+// PageOffset returns the byte offset of p within its page.
+func (p PAddr) PageOffset() uint64 { return uint64(p) & (PageSize - 1) }
+
+// Frame returns the physical frame number containing p.
+func (p PAddr) Frame() uint64 { return uint64(p) >> PageBits }
+
+// PAddr returns the physical byte address of the first byte of the line.
+func (l LineAddr) PAddr() PAddr { return PAddr(l << LineBits) }
+
+// Frame returns the physical frame number containing the line.
+func (l LineAddr) Frame() uint64 { return uint64(l) >> (PageBits - LineBits) }
+
+// String implements fmt.Stringer for diagnostics.
+func (l LineAddr) String() string { return fmt.Sprintf("line:%#x", uint64(l)) }
+
+// Page returns the page number of a virtual address.
+func (v VAddr) Page() uint64 { return uint64(v) >> PageBits }
+
+// PageOffset returns the byte offset of v within its page.
+func (v VAddr) PageOffset() uint64 { return uint64(v) & (PageSize - 1) }
+
+// LineIndex returns the index of v's cache line within its page (0..63).
+func (v VAddr) LineIndex() uint64 { return (uint64(v) & (PageSize - 1)) >> LineBits }
+
+// AlignLine rounds v down to the start of its cache line.
+func (v VAddr) AlignLine() VAddr { return v &^ (LineSize - 1) }
+
+// AlignPage rounds v down to the start of its page.
+func (v VAddr) AlignPage() VAddr { return v &^ (PageSize - 1) }

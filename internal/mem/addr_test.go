@@ -1,0 +1,80 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestLineArithmetic(t *testing.T) {
+	cases := []struct {
+		pa   PAddr
+		line LineAddr
+		off  uint64
+	}{
+		{0, 0, 0},
+		{63, 0, 63},
+		{64, 1, 0},
+		{4096, 64, 0},
+		{0xdeadbeef, 0xdeadbeef >> 6, 0xdeadbeef & 63},
+	}
+	for _, c := range cases {
+		if got := c.pa.Line(); got != c.line {
+			t.Errorf("PAddr(%#x).Line() = %#x, want %#x", uint64(c.pa), uint64(got), uint64(c.line))
+		}
+		if got := c.pa.Offset(); got != c.off {
+			t.Errorf("PAddr(%#x).Offset() = %d, want %d", uint64(c.pa), got, c.off)
+		}
+	}
+}
+
+func TestLineRoundTrip(t *testing.T) {
+	f := func(raw uint64) bool {
+		la := LineAddr(raw >> LineBits) // keep in range
+		return la.PAddr().Line() == la
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFrameConsistency(t *testing.T) {
+	f := func(raw uint64) bool {
+		pa := PAddr(raw)
+		return pa.Frame() == pa.Line().Frame()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVAddrHelpers(t *testing.T) {
+	v := VAddr(0x12345)
+	if v.Page() != 0x12 {
+		t.Errorf("Page() = %#x, want 0x12", v.Page())
+	}
+	if v.PageOffset() != 0x345 {
+		t.Errorf("PageOffset() = %#x, want 0x345", v.PageOffset())
+	}
+	if v.LineIndex() != 0x345>>6 {
+		t.Errorf("LineIndex() = %d, want %d", v.LineIndex(), 0x345>>6)
+	}
+	if v.AlignLine() != 0x12340 {
+		t.Errorf("AlignLine() = %#x, want 0x12340", uint64(v.AlignLine()))
+	}
+	if v.AlignPage() != 0x12000 {
+		t.Errorf("AlignPage() = %#x, want 0x12000", uint64(v.AlignPage()))
+	}
+}
+
+func TestLines(t *testing.T) {
+	ls := Lines(VAddr(0x1000), 4*LineSize)
+	if len(ls) != 4 {
+		t.Fatalf("len = %d, want 4", len(ls))
+	}
+	for i, l := range ls {
+		want := VAddr(0x1000 + i*LineSize)
+		if l != want {
+			t.Errorf("Lines[%d] = %#x, want %#x", i, uint64(l), uint64(want))
+		}
+	}
+}

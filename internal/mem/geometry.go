@@ -1,0 +1,100 @@
+package mem
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// Geometry describes how a physical line address maps onto a sliced,
+// set-associative last-level cache. Client Intel parts distribute lines over
+// one slice per core using an undocumented hash of the high address bits;
+// within a slice, the set index is the low bits of the line address.
+//
+// The simulator uses an XOR-tree hash of the same shape as the
+// reverse-engineered Intel functions: each slice-select bit is the parity of
+// the line address ANDed with a per-bit mask. The exact masks are not the
+// published Intel ones (they differ per SKU anyway); what matters for every
+// experiment in the paper is that the hash is a fixed, attacker-opaque
+// function that spreads adjacent lines across slices.
+type Geometry struct {
+	Slices       int // number of LLC slices (power of two)
+	SetsPerSlice int // sets in each slice (power of two)
+	sliceMasks   []uint64
+}
+
+// NewGeometry builds the geometry and its slice hash. Both arguments must be
+// powers of two; Slices may be 1, in which case the hash is unused.
+func NewGeometry(slices, setsPerSlice int) (*Geometry, error) {
+	if slices <= 0 || bits.OnesCount(uint(slices)) != 1 {
+		return nil, fmt.Errorf("mem: slices must be a positive power of two, got %d", slices)
+	}
+	if setsPerSlice <= 0 || bits.OnesCount(uint(setsPerSlice)) != 1 {
+		return nil, fmt.Errorf("mem: setsPerSlice must be a positive power of two, got %d", setsPerSlice)
+	}
+	g := &Geometry{Slices: slices, SetsPerSlice: setsPerSlice}
+	// Fixed masks in the spirit of the reverse-engineered Skylake hash
+	// (Maurice et al.): parities over spread-out high bits of the line
+	// address. Up to 3 slice bits supported (8 slices), enough for any
+	// client part in the paper.
+	allMasks := []uint64{
+		0x1b5f575440, // slice bit 0
+		0x2eb5faa880, // slice bit 1
+		0x3cccc93100, // slice bit 2
+	}
+	nbits := bits.TrailingZeros(uint(slices))
+	if nbits > len(allMasks) {
+		return nil, fmt.Errorf("mem: at most %d slice bits supported, got %d", len(allMasks), nbits)
+	}
+	g.sliceMasks = allMasks[:nbits]
+	return g, nil
+}
+
+// MustGeometry is NewGeometry for static configurations; it panics on error.
+func MustGeometry(slices, setsPerSlice int) *Geometry {
+	g, err := NewGeometry(slices, setsPerSlice)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// Slice returns the LLC slice the line maps to.
+func (g *Geometry) Slice(la LineAddr) int {
+	s := 0
+	for i, m := range g.sliceMasks {
+		s |= int(bits.OnesCount64(uint64(la<<LineBits)&m)&1) << i
+	}
+	return s
+}
+
+// Set returns the set index within the line's slice.
+func (g *Geometry) Set(la LineAddr) int {
+	return int(uint64(la) & uint64(g.SetsPerSlice-1))
+}
+
+// Locate returns both coordinates at once.
+func (g *Geometry) Locate(la LineAddr) (slice, set int) {
+	return g.Slice(la), g.Set(la)
+}
+
+// Congruent reports whether two lines map to the same slice and set, i.e.
+// whether they can conflict in the LLC.
+func (g *Geometry) Congruent(a, b LineAddr) bool {
+	return g.Set(a) == g.Set(b) && g.Slice(a) == g.Slice(b)
+}
+
+// SetIndexBits returns how many of a line address's low bits select the set.
+func (g *Geometry) SetIndexBits() int {
+	return bits.TrailingZeros(uint(g.SetsPerSlice))
+}
+
+// PageKnownSetBits reports how many set-index bits are controlled by the
+// page offset (known to an unprivileged attacker). With 4 KiB pages and
+// 64-byte lines the page offset fixes 6 line-address bits.
+func (g *Geometry) PageKnownSetBits() int {
+	known := PageBits - LineBits
+	if idx := g.SetIndexBits(); idx < known {
+		return idx
+	}
+	return known
+}

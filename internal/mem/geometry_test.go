@@ -1,0 +1,101 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestGeometryValidation(t *testing.T) {
+	if _, err := NewGeometry(3, 1024); err == nil {
+		t.Error("slices=3 should fail")
+	}
+	if _, err := NewGeometry(4, 1000); err == nil {
+		t.Error("setsPerSlice=1000 should fail")
+	}
+	if _, err := NewGeometry(0, 1024); err == nil {
+		t.Error("slices=0 should fail")
+	}
+	if _, err := NewGeometry(16, 1024); err == nil {
+		t.Error("16 slices (4 bits) should exceed supported mask count")
+	}
+	if _, err := NewGeometry(4, 2048); err != nil {
+		t.Errorf("valid geometry rejected: %v", err)
+	}
+}
+
+func TestGeometryRanges(t *testing.T) {
+	g := MustGeometry(4, 2048)
+	f := func(raw uint64) bool {
+		la := LineAddr(raw)
+		s := g.Slice(la)
+		set := g.Set(la)
+		return s >= 0 && s < 4 && set >= 0 && set < 2048
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGeometrySliceBalance(t *testing.T) {
+	// The hash must spread a dense physical region roughly evenly.
+	g := MustGeometry(4, 2048)
+	counts := make([]int, 4)
+	const n = 1 << 16
+	for i := 0; i < n; i++ {
+		counts[g.Slice(LineAddr(i))]++
+	}
+	for s, c := range counts {
+		frac := float64(c) / n
+		if frac < 0.15 || frac > 0.35 {
+			t.Errorf("slice %d holds %.1f%% of lines; want ≈25%%", s, 100*frac)
+		}
+	}
+}
+
+func TestGeometrySingleSlice(t *testing.T) {
+	g := MustGeometry(1, 1024)
+	for i := 0; i < 1000; i++ {
+		if g.Slice(LineAddr(i*977)) != 0 {
+			t.Fatal("single-slice geometry must always return slice 0")
+		}
+	}
+}
+
+func TestCongruent(t *testing.T) {
+	g := MustGeometry(4, 2048)
+	a := LineAddr(0x12345)
+	if !g.Congruent(a, a) {
+		t.Fatal("a line must be congruent with itself")
+	}
+	// A line differing only in set bits is never congruent.
+	b := a ^ 1
+	if g.Congruent(a, b) {
+		t.Fatal("different set index reported congruent")
+	}
+	// Find a genuinely congruent pair by search and double-check it.
+	var found bool
+	for i := uint64(1); i < 1<<20; i++ {
+		c := a + LineAddr(i*2048) // same set bits by construction
+		if g.Slice(c) == g.Slice(a) {
+			if !g.Congruent(a, c) {
+				t.Fatal("Congruent disagrees with Slice/Set")
+			}
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Fatal("no congruent line found in 1M candidates; hash is degenerate")
+	}
+}
+
+func TestPageKnownSetBits(t *testing.T) {
+	g := MustGeometry(4, 2048) // 11 set bits, page offset fixes 6
+	if got := g.PageKnownSetBits(); got != 6 {
+		t.Errorf("PageKnownSetBits = %d, want 6", got)
+	}
+	small := MustGeometry(1, 16) // 4 set bits, all page-known
+	if got := small.PageKnownSetBits(); got != 4 {
+		t.Errorf("PageKnownSetBits = %d, want 4", got)
+	}
+}

@@ -1,0 +1,70 @@
+package mem
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+)
+
+// ErrOutOfMemory is returned when the physical frame pool is exhausted.
+var ErrOutOfMemory = errors.New("mem: out of physical frames")
+
+// PhysMem is a pool of physical page frames handed out in a randomized
+// order, modelling an OS page allocator as seen by an unprivileged process:
+// consecutive virtual pages land on effectively random physical frames, so
+// the LLC set index bits above the page offset are unpredictable.
+//
+// PhysMem is deterministic for a given seed.
+type PhysMem struct {
+	frames []uint64 // shuffled free list of frame numbers
+	next   int      // next index into frames to hand out
+	synth  uint64   // next synthetic frame for contiguous reservations
+}
+
+// NewPhysMem creates a pool with the given total size in bytes (rounded down
+// to whole pages), shuffled with the given seed.
+func NewPhysMem(totalBytes uint64, seed int64) *PhysMem {
+	n := totalBytes / PageSize
+	frames := make([]uint64, n)
+	for i := range frames {
+		frames[i] = uint64(i)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	rng.Shuffle(len(frames), func(i, j int) {
+		frames[i], frames[j] = frames[j], frames[i]
+	})
+	return &PhysMem{frames: frames, synth: n}
+}
+
+// TotalFrames reports the pool capacity in frames.
+func (pm *PhysMem) TotalFrames() int { return len(pm.frames) }
+
+// FreeFrames reports how many frames remain allocatable.
+func (pm *PhysMem) FreeFrames() int { return len(pm.frames) - pm.next }
+
+// AllocFrame hands out the next randomized frame number.
+func (pm *PhysMem) AllocFrame() (uint64, error) {
+	if pm.next >= len(pm.frames) {
+		return 0, ErrOutOfMemory
+	}
+	f := pm.frames[pm.next]
+	pm.next++
+	return f, nil
+}
+
+// AllocContiguous reserves n physically contiguous frames and returns the
+// first frame number. Real attackers can sometimes obtain these via huge
+// pages; a few experiments use it to bypass eviction-set construction when
+// congruence discovery itself is not the thing under test.
+//
+// The reservation is synthesized past the end of the randomized pool, which
+// models a huge-page region: only the set-index bits of the resulting
+// addresses matter, and they remain well-formed.
+func (pm *PhysMem) AllocContiguous(n int) (uint64, error) {
+	if n <= 0 {
+		return 0, fmt.Errorf("mem: AllocContiguous(%d): n must be positive", n)
+	}
+	base := pm.synth
+	pm.synth += uint64(n)
+	return base, nil
+}

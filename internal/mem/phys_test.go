@@ -1,0 +1,74 @@
+package mem
+
+import "testing"
+
+func TestPhysMemUniqueFrames(t *testing.T) {
+	pm := NewPhysMem(1<<20, 1) // 256 frames
+	seen := make(map[uint64]bool)
+	for i := 0; i < pm.TotalFrames(); i++ {
+		f, err := pm.AllocFrame()
+		if err != nil {
+			t.Fatalf("AllocFrame #%d: %v", i, err)
+		}
+		if seen[f] {
+			t.Fatalf("frame %d handed out twice", f)
+		}
+		if f >= uint64(pm.TotalFrames()) {
+			t.Fatalf("frame %d out of range", f)
+		}
+		seen[f] = true
+	}
+	if _, err := pm.AllocFrame(); err != ErrOutOfMemory {
+		t.Fatalf("exhausted pool: err = %v, want ErrOutOfMemory", err)
+	}
+}
+
+func TestPhysMemDeterministic(t *testing.T) {
+	a := NewPhysMem(1<<20, 42)
+	b := NewPhysMem(1<<20, 42)
+	for i := 0; i < 100; i++ {
+		fa, _ := a.AllocFrame()
+		fb, _ := b.AllocFrame()
+		if fa != fb {
+			t.Fatalf("allocation %d diverged: %d vs %d", i, fa, fb)
+		}
+	}
+}
+
+func TestPhysMemShuffled(t *testing.T) {
+	pm := NewPhysMem(1<<22, 7)
+	ascending := true
+	var prev uint64
+	for i := 0; i < 64; i++ {
+		f, _ := pm.AllocFrame()
+		if i > 0 && f != prev+1 {
+			ascending = false
+		}
+		prev = f
+	}
+	if ascending {
+		t.Fatal("frame sequence is perfectly ascending; allocator is not randomized")
+	}
+}
+
+func TestAllocContiguous(t *testing.T) {
+	pm := NewPhysMem(1<<20, 3)
+	base, err := pm.AllocContiguous(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Contiguous reservations must not collide with the randomized pool.
+	if base < uint64(pm.TotalFrames()) {
+		t.Fatalf("contiguous base %d overlaps randomized pool of %d frames", base, pm.TotalFrames())
+	}
+	next, err := pm.AllocContiguous(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if next < base+8 {
+		t.Fatalf("second reservation %d overlaps first [%d,%d)", next, base, base+8)
+	}
+	if _, err := pm.AllocContiguous(0); err == nil {
+		t.Fatal("AllocContiguous(0) should fail")
+	}
+}

@@ -1,0 +1,117 @@
+package mem
+
+import "testing"
+
+func TestAllocAndTranslate(t *testing.T) {
+	pm := NewPhysMem(1<<20, 1)
+	as := NewAddressSpace(pm)
+	base, err := as.Alloc(3 * PageSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.PageOffset() != 0 {
+		t.Fatalf("base %#x not page aligned", uint64(base))
+	}
+	// Offsets survive translation.
+	for _, off := range []uint64{0, 1, 63, 64, PageSize - 1, PageSize, 2*PageSize + 123} {
+		pa, err := as.Translate(base + VAddr(off))
+		if err != nil {
+			t.Fatalf("Translate(+%d): %v", off, err)
+		}
+		if pa.PageOffset() != (uint64(base)+off)%PageSize {
+			t.Errorf("offset mismatch at +%d: got %#x", off, pa.PageOffset())
+		}
+	}
+	// Unmapped access faults.
+	if _, err := as.Translate(base + VAddr(3*PageSize)); err == nil {
+		t.Fatal("expected page fault past the region")
+	}
+	if _, err := as.Translate(0); err == nil {
+		t.Fatal("expected page fault at null page")
+	}
+}
+
+func TestDistinctSpacesDistinctFrames(t *testing.T) {
+	pm := NewPhysMem(1<<20, 1)
+	a := NewAddressSpace(pm)
+	b := NewAddressSpace(pm)
+	va, _ := a.Alloc(PageSize)
+	vb, _ := b.Alloc(PageSize)
+	pa := a.MustTranslate(va)
+	pb := b.MustTranslate(vb)
+	if pa.Frame() == pb.Frame() {
+		t.Fatalf("two private allocations share frame %d", pa.Frame())
+	}
+}
+
+func TestMapShared(t *testing.T) {
+	pm := NewPhysMem(1<<20, 1)
+	victim := NewAddressSpace(pm)
+	attacker := NewAddressSpace(pm)
+	base, _ := victim.Alloc(2 * PageSize)
+	if err := attacker.MapShared(victim, base, 2*PageSize); err != nil {
+		t.Fatal(err)
+	}
+	for off := uint64(0); off < 2*PageSize; off += PageSize / 2 {
+		pv := victim.MustTranslate(base + VAddr(off))
+		pa := attacker.MustTranslate(base + VAddr(off))
+		if pv != pa {
+			t.Fatalf("shared mapping diverges at +%d: %#x vs %#x", off, uint64(pv), uint64(pa))
+		}
+	}
+	// Double-mapping the same range must fail.
+	if err := attacker.MapShared(victim, base, PageSize); err == nil {
+		t.Fatal("expected error on overlapping MapShared")
+	}
+	// Sharing an unmapped source must fail.
+	if err := attacker.MapShared(victim, base+VAddr(16*PageSize), PageSize); err == nil {
+		t.Fatal("expected error for unmapped source")
+	}
+}
+
+func TestAllocContiguousSpace(t *testing.T) {
+	pm := NewPhysMem(1<<20, 1)
+	as := NewAddressSpace(pm)
+	base, err := as.AllocContiguous(4 * PageSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := as.MustTranslate(base)
+	for i := uint64(1); i < 4; i++ {
+		pa := as.MustTranslate(base + VAddr(i*PageSize))
+		if pa.Frame() != first.Frame()+i {
+			t.Fatalf("page %d frame %d, want %d", i, pa.Frame(), first.Frame()+i)
+		}
+	}
+}
+
+func TestAllocAtAndTranslationLevels(t *testing.T) {
+	pm := NewPhysMem(1<<22, 1)
+	as := NewAddressSpace(pm)
+	base := VAddr(0x7f00_0000_0000)
+	if err := as.AllocAt(base, 4*PageSize); err != nil {
+		t.Fatal(err)
+	}
+	if err := as.AllocAt(base, PageSize); err == nil {
+		t.Fatal("double AllocAt accepted")
+	}
+	if err := as.AllocAt(base+1, PageSize); err == nil {
+		t.Fatal("unaligned AllocAt accepted")
+	}
+	// Mapped page: full depth.
+	if got := as.TranslationLevels(base); got != PageLevels {
+		t.Fatalf("mapped page depth = %d, want %d", got, PageLevels)
+	}
+	// Same 2 MiB region (level 3 shared), unmapped page: depth 3.
+	if got := as.TranslationLevels(base + 8*PageSize); got != 3 {
+		t.Fatalf("same-L2-entry depth = %d, want 3", got)
+	}
+	// Same 1 GiB region: depth 2.
+	if got := as.TranslationLevels(base + (4 << 20)); got != 2 {
+		t.Fatalf("same-1G depth = %d, want 2", got)
+	}
+	// Far away: depth 0.
+	if got := as.TranslationLevels(0xffff_0000_0000_0000); got != 0 {
+		t.Fatalf("far address depth = %d, want 0", got)
+	}
+}

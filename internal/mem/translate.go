@@ -1,0 +1,73 @@
+package mem
+
+import "fmt"
+
+// Four-level x86-64 style paging: 9 index bits per level above the 12-bit
+// page offset. TranslationLevels walks the same structure the hardware
+// page-table walker does, which is what the prefetch-timing KASLR attacks
+// of Gruss et al. (the paper's Section VI-C related work) observe.
+const (
+	PageLevels    = 4
+	levelBits     = 9
+	pageIndexBits = PageBits // 12
+)
+
+// levelPrefix returns va's index prefix covering the top `level` levels
+// (level 1 = PML4 index only, level 4 = full page number).
+func levelPrefix(va VAddr, level int) uint64 {
+	shift := uint(pageIndexBits + (PageLevels-level)*levelBits)
+	return uint64(va) >> shift
+}
+
+// AllocAt maps size bytes of fresh physical frames at the given
+// page-aligned virtual base (modelling a kernel region or a fixed-address
+// mapping). It fails if any page in the range is already mapped.
+func (as *AddressSpace) AllocAt(base VAddr, size uint64) error {
+	if base.PageOffset() != 0 {
+		return fmt.Errorf("mem: AllocAt(%#x): base not page aligned", uint64(base))
+	}
+	if size == 0 {
+		return fmt.Errorf("mem: AllocAt: size must be positive")
+	}
+	npages := (size + PageSize - 1) / PageSize
+	start := base.Page()
+	for i := uint64(0); i < npages; i++ {
+		if _, dup := as.pages[start+i]; dup {
+			return fmt.Errorf("mem: AllocAt: page %#x already mapped", start+i)
+		}
+	}
+	for i := uint64(0); i < npages; i++ {
+		frame, err := as.pm.AllocFrame()
+		if err != nil {
+			return err
+		}
+		as.pages[start+i] = frame
+	}
+	if end := start + npages; end > as.brk {
+		as.brk = end
+	}
+	return nil
+}
+
+// TranslationLevels reports how many page-table levels resolve for va:
+// 0 means even the top-level entry is absent, PageLevels means the page is
+// fully mapped. The walk time a prefetch of va takes is proportional to
+// this depth — timing it leaks the layout of address spaces the prober
+// cannot read.
+func (as *AddressSpace) TranslationLevels(va VAddr) int {
+	if _, ok := as.pages[va.Page()]; ok {
+		return PageLevels
+	}
+	// An upper-level entry exists iff some mapped page shares the prefix.
+	// Address spaces here are small (thousands of pages), so a scan per
+	// level is acceptable; a production kernel would keep radix nodes.
+	for level := PageLevels - 1; level >= 1; level-- {
+		want := levelPrefix(va, level)
+		for page := range as.pages {
+			if levelPrefix(VAddr(page<<PageBits), level) == want {
+				return level
+			}
+		}
+	}
+	return 0
+}

@@ -1,0 +1,62 @@
+// Package platform provides the two processor configurations of Table I in
+// the paper: the Core i7-6700 (Skylake) and Core i7-7700K (Kaby Lake), both
+// 4 cores with 8-way private L1s, 4-way private non-inclusive L2s, and a
+// 16-way shared inclusive LLC.
+package platform
+
+import "leakyway/internal/hier"
+
+// Names for the two paper platforms.
+const (
+	SkylakeName  = "Skylake (i7-6700)"
+	KabyLakeName = "Kaby Lake (i7-7700K)"
+)
+
+// Skylake returns the Core i7-6700 configuration: 4 cores at 3.4 GHz,
+// 32 KiB/8-way L1, 256 KiB/4-way L2, 8 MiB/16-way LLC in 4 slices.
+func Skylake() hier.Config {
+	return hier.Config{
+		Name:    SkylakeName,
+		Cores:   4,
+		FreqGHz: 3.4,
+		L1Sets:  64, L1Ways: 8,
+		L2Sets: 1024, L2Ways: 4,
+		LLCSlices: 4, LLCSetsPerSlice: 2048, LLCWays: 16,
+		Lat: hier.DefaultLatency(),
+	}
+}
+
+// KabyLake returns the Core i7-7700K configuration: 4 cores at 4.2 GHz with
+// the same cache geometry as Skylake. The higher clock makes fixed-time DRAM
+// and flush operations cost more cycles, which is why the paper's Kaby Lake
+// capacities are slightly lower and its flush-heavy loops slightly slower.
+func KabyLake() hier.Config {
+	cfg := Skylake()
+	cfg.Name = KabyLakeName
+	cfg.FreqGHz = 4.2
+	cfg.Lat.L2Hit = 14
+	cfg.Lat.LLCHit = 38
+	cfg.Lat.Mem = 196
+	cfg.Lat.MemJit = 18
+	cfg.Lat.FlushPresent = 136
+	cfg.Lat.FlushDirty = 172
+	cfg.Lat.FlushAbsent = 98
+	cfg.Lat.TimerOverhead = 70
+	return cfg
+}
+
+// All returns both platforms in paper order.
+func All() []hier.Config {
+	return []hier.Config{Skylake(), KabyLake()}
+}
+
+// ByName resolves a platform by its short flag name ("skylake", "kabylake").
+func ByName(name string) (hier.Config, bool) {
+	switch name {
+	case "skylake", "Skylake", SkylakeName:
+		return Skylake(), true
+	case "kabylake", "KabyLake", "kaby-lake", KabyLakeName:
+		return KabyLake(), true
+	}
+	return hier.Config{}, false
+}

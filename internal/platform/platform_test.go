@@ -1,0 +1,91 @@
+package platform
+
+import (
+	"testing"
+
+	"leakyway/internal/hier"
+)
+
+func TestTable1Geometry(t *testing.T) {
+	for _, cfg := range All() {
+		if err := cfg.Validate(); err != nil {
+			t.Errorf("%s: %v", cfg.Name, err)
+		}
+		// Table I parameters.
+		if cfg.Cores != 4 {
+			t.Errorf("%s: cores = %d, want 4", cfg.Name, cfg.Cores)
+		}
+		if cfg.L1Ways != 8 {
+			t.Errorf("%s: L1 ways = %d, want 8", cfg.Name, cfg.L1Ways)
+		}
+		if cfg.L2Ways != 4 {
+			t.Errorf("%s: L2 ways = %d, want 4", cfg.Name, cfg.L2Ways)
+		}
+		if cfg.LLCWays != 16 {
+			t.Errorf("%s: LLC ways = %d, want 16", cfg.Name, cfg.LLCWays)
+		}
+		// Capacities: 32 KiB L1, 256 KiB L2, 8 MiB LLC.
+		if got := cfg.L1Sets * cfg.L1Ways * 64; got != 32<<10 {
+			t.Errorf("%s: L1 capacity = %d", cfg.Name, got)
+		}
+		if got := cfg.L2Sets * cfg.L2Ways * 64; got != 256<<10 {
+			t.Errorf("%s: L2 capacity = %d", cfg.Name, got)
+		}
+		if got := cfg.LLCSlices * cfg.LLCSetsPerSlice * cfg.LLCWays * 64; got != 8<<20 {
+			t.Errorf("%s: LLC capacity = %d", cfg.Name, got)
+		}
+	}
+}
+
+func TestFrequencies(t *testing.T) {
+	if Skylake().FreqGHz != 3.4 {
+		t.Error("Skylake frequency wrong")
+	}
+	if KabyLake().FreqGHz != 4.2 {
+		t.Error("Kaby Lake frequency wrong")
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"skylake", "Skylake", SkylakeName} {
+		if p, ok := ByName(name); !ok || p.Name != SkylakeName {
+			t.Errorf("ByName(%q) failed", name)
+		}
+	}
+	for _, name := range []string{"kabylake", "kaby-lake", KabyLakeName} {
+		if p, ok := ByName(name); !ok || p.Name != KabyLakeName {
+			t.Errorf("ByName(%q) failed", name)
+		}
+	}
+	if _, ok := ByName("486"); ok {
+		t.Error("unknown platform resolved")
+	}
+}
+
+func TestTimedTiersLandInPaperRanges(t *testing.T) {
+	// The calibration contract: timed L1 ≈ 70, timed LLC 90-100, timed
+	// DRAM > 200 on both platforms.
+	for _, cfg := range All() {
+		l1 := cfg.Lat.L1Hit + cfg.Lat.TimerOverhead
+		llc := cfg.Lat.LLCHit + cfg.Lat.TimerOverhead
+		mem := cfg.Lat.Mem + cfg.Lat.TimerOverhead
+		if l1 < 60 || l1 > 85 {
+			t.Errorf("%s: timed L1 = %d, want ≈70", cfg.Name, l1)
+		}
+		if llc < 88 || llc > 112 {
+			t.Errorf("%s: timed LLC = %d, want 90-100", cfg.Name, llc)
+		}
+		if mem < 200 {
+			t.Errorf("%s: timed DRAM = %d, want >200", cfg.Name, mem)
+		}
+	}
+}
+
+func TestConfigsAreIndependent(t *testing.T) {
+	a := Skylake()
+	a.LLCWays = 1
+	if Skylake().LLCWays != 16 {
+		t.Fatal("mutating a returned config leaks into the factory")
+	}
+	var _ hier.Config = a
+}

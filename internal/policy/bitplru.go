@@ -1,0 +1,71 @@
+package policy
+
+// BitPLRU (MRU-bit pseudo-LRU, Malamy et al.) keeps one bit per way. A hit
+// sets the way's bit; when the last zero bit is consumed, all other bits are
+// cleared. The victim is the first way with a zero bit. Intel client L2s
+// behave like this to a first approximation.
+type BitPLRU struct{}
+
+// NewBitPLRU returns the policy.
+func NewBitPLRU() *BitPLRU { return &BitPLRU{} }
+
+// Name implements Policy.
+func (*BitPLRU) Name() string { return "bit-plru" }
+
+// NewSet implements Policy.
+func (*BitPLRU) NewSet(ways int) SetState {
+	return &bitPLRUSet{mru: make([]bool, ways)}
+}
+
+type bitPLRUSet struct {
+	mru []bool
+}
+
+func (s *bitPLRUSet) touch(way int) {
+	s.mru[way] = true
+	for _, b := range s.mru {
+		if !b {
+			return
+		}
+	}
+	// All bits set: clear everything except the most recent access.
+	for i := range s.mru {
+		s.mru[i] = i == way
+	}
+}
+
+// Victim implements SetState: first zero-bit evictable way, else first
+// evictable way.
+func (s *bitPLRUSet) Victim(evictable func(way int) bool) int {
+	for way, b := range s.mru {
+		if !b && evictable(way) {
+			return way
+		}
+	}
+	for way := range s.mru {
+		if evictable(way) {
+			return way
+		}
+	}
+	return -1
+}
+
+// OnFill implements SetState.
+func (s *bitPLRUSet) OnFill(way int, _ AccessClass) { s.touch(way) }
+
+// OnHit implements SetState.
+func (s *bitPLRUSet) OnHit(way int, _ AccessClass) { s.touch(way) }
+
+// OnInvalidate implements SetState.
+func (s *bitPLRUSet) OnInvalidate(way int) { s.mru[way] = false }
+
+// Snapshot implements SetState: 1 for MRU bits.
+func (s *bitPLRUSet) Snapshot() []int {
+	out := make([]int, len(s.mru))
+	for i, b := range s.mru {
+		if b {
+			out[i] = 1
+		}
+	}
+	return out
+}

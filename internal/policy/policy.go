@@ -1,0 +1,68 @@
+// Package policy implements cache replacement policies as pluggable per-set
+// state machines. The load-bearing one is QuadAge, the quad-age pseudo-LRU
+// that prior work reverse-engineered on Intel client LLCs and that the Leaky
+// Way paper's PREFETCHNTA properties are defined against. Tree-PLRU and
+// Bit-PLRU cover the private levels, and the remaining policies exist as
+// baselines and for countermeasure studies.
+package policy
+
+// AccessClass tells a policy what kind of request caused a fill or hit, so
+// that it can treat demand loads and non-temporal prefetches differently —
+// the asymmetry the entire paper exploits.
+type AccessClass int
+
+const (
+	// ClassLoad is a demand load (or store) from the core.
+	ClassLoad AccessClass = iota
+	// ClassNTA is a PREFETCHNTA software prefetch.
+	ClassNTA
+	// ClassT0 is a PREFETCHT0-style temporal software prefetch.
+	ClassT0
+	// ClassHW is a hardware prefetcher fill.
+	ClassHW
+)
+
+// String implements fmt.Stringer.
+func (c AccessClass) String() string {
+	switch c {
+	case ClassLoad:
+		return "load"
+	case ClassNTA:
+		return "nta"
+	case ClassT0:
+		return "t0"
+	case ClassHW:
+		return "hw"
+	}
+	return "unknown"
+}
+
+// Policy is a factory for per-set replacement state.
+type Policy interface {
+	// Name identifies the policy in experiment output.
+	Name() string
+	// NewSet creates replacement state for one set with the given number
+	// of ways.
+	NewSet(ways int) SetState
+}
+
+// SetState is the replacement bookkeeping for a single cache set. The cache
+// guarantees way indices are in range and that OnFill follows a Victim (or
+// targets an invalid way).
+type SetState interface {
+	// Victim selects the way to evict, consulting evictable to skip ways
+	// that cannot currently be replaced (invalid ways are never passed in
+	// here — the cache fills those directly). It returns -1 if no way is
+	// evictable. Victim may mutate state (e.g. quad-age aging).
+	Victim(evictable func(way int) bool) int
+	// OnFill records that a line of the given class was installed in way.
+	OnFill(way int, cls AccessClass)
+	// OnHit records a hit of the given class on way.
+	OnHit(way int, cls AccessClass)
+	// OnInvalidate clears any per-way state when a line is removed
+	// without replacement (flush or back-invalidation).
+	OnInvalidate(way int)
+	// Snapshot exposes per-way metadata (ages/ranks) for tracing. The
+	// meaning is policy-specific; -1 marks "no meaningful value".
+	Snapshot() []int
+}

@@ -1,0 +1,147 @@
+package policy
+
+import "fmt"
+
+// QuadAge is the quad-age pseudo-LRU used by Intel client LLCs, as
+// reverse-engineered by Briongos et al. and re-verified in Section II-B /
+// Figure 1 of the Leaky Way paper:
+//
+//   - every line carries a 2-bit age, 0 (youngest) .. 3 (oldest);
+//   - insertion: a demand load is installed with age 2 (3 on some
+//     pre-Skylake parts); the paper establishes that PREFETCHNTA installs
+//     with age 3 (Property #1);
+//   - replacement: scan the ways in order and evict the first one with age
+//     3; if none exists, increment every age by one and rescan;
+//   - update: a demand hit decrements the age (floor 0); a PREFETCHNTA hit
+//     does not change the age at all (Property #2).
+//
+// The insertion ages are configurable so the same type also expresses the
+// Section VI-D countermeasure policy (load age 1, NTA age 2), the
+// pre-Skylake variant, and anything an ablation needs.
+type QuadAge struct {
+	// LoadAge is the insertion age for demand loads and T0 prefetches.
+	LoadAge int
+	// NTAAge is the insertion age for non-temporal prefetches.
+	NTAAge int
+	// HWAge is the insertion age for hardware-prefetcher fills.
+	HWAge int
+	// NTAHitUpdates, if true, makes an NTA hit decrement the age like a
+	// demand hit (used to ablate Property #2).
+	NTAHitUpdates bool
+	// MaxAge is the oldest age; 3 for the 2-bit Intel scheme.
+	MaxAge int
+}
+
+// NewQuadAge returns the policy with the stock Intel client parameters the
+// paper reverse-engineers: load age 2, NTA age 3, NTA hits leave ages alone.
+func NewQuadAge() *QuadAge {
+	return &QuadAge{LoadAge: 2, NTAAge: 3, HWAge: 2, MaxAge: 3}
+}
+
+// NewQuadAgeCountermeasure returns the Section VI-D mitigation: loads insert
+// at age 1 and NTA prefetches at age 2, so a prefetched line still dies
+// sooner than a loaded line but is no longer guaranteed to be the eviction
+// candidate.
+func NewQuadAgeCountermeasure() *QuadAge {
+	return &QuadAge{LoadAge: 1, NTAAge: 2, HWAge: 1, MaxAge: 3}
+}
+
+// Name implements Policy.
+func (q *QuadAge) Name() string {
+	return fmt.Sprintf("qlru(load=%d,nta=%d)", q.LoadAge, q.NTAAge)
+}
+
+// NewSet implements Policy.
+func (q *QuadAge) NewSet(ways int) SetState {
+	ages := make([]int, ways)
+	for i := range ages {
+		ages[i] = -1
+	}
+	return &quadAgeSet{cfg: q, ages: ages}
+}
+
+type quadAgeSet struct {
+	cfg  *QuadAge
+	ages []int // -1 for invalid ways
+}
+
+// insertAge maps an access class to its insertion age.
+func (s *quadAgeSet) insertAge(cls AccessClass) int {
+	switch cls {
+	case ClassNTA:
+		return s.cfg.NTAAge
+	case ClassHW:
+		return s.cfg.HWAge
+	default:
+		return s.cfg.LoadAge
+	}
+}
+
+// Victim implements the scan-then-age loop. In-flight lines (reported
+// non-evictable by the cache) are skipped exactly as hardware skips lines
+// with outstanding fills — the effect the paper leans on when it spaces out
+// sender and receiver prefetches.
+func (s *quadAgeSet) Victim(evictable func(way int) bool) int {
+	anyEvictable := false
+	for way := range s.ages {
+		if evictable(way) {
+			anyEvictable = true
+			break
+		}
+	}
+	if !anyEvictable {
+		return -1
+	}
+	// The aging loop terminates: each round either finds a max-age
+	// evictable way or raises every age toward MaxAge; after at most
+	// MaxAge rounds some evictable way has age MaxAge.
+	for round := 0; ; round++ {
+		for way, age := range s.ages {
+			if age >= s.cfg.MaxAge && evictable(way) {
+				return way
+			}
+		}
+		for way, age := range s.ages {
+			if age >= 0 && age < s.cfg.MaxAge {
+				s.ages[way] = age + 1
+			}
+		}
+		if round > s.cfg.MaxAge {
+			// All evictable ways are pinned below MaxAge only if
+			// MaxAge saturation already happened; fall back to the
+			// first evictable way to stay total.
+			for way := range s.ages {
+				if evictable(way) {
+					return way
+				}
+			}
+		}
+	}
+}
+
+// OnFill implements SetState.
+func (s *quadAgeSet) OnFill(way int, cls AccessClass) {
+	s.ages[way] = s.insertAge(cls)
+}
+
+// OnHit implements SetState.
+func (s *quadAgeSet) OnHit(way int, cls AccessClass) {
+	if cls == ClassNTA && !s.cfg.NTAHitUpdates {
+		return // Property #2: an NTA hit leaves the age untouched.
+	}
+	if s.ages[way] > 0 {
+		s.ages[way]--
+	}
+}
+
+// OnInvalidate implements SetState.
+func (s *quadAgeSet) OnInvalidate(way int) {
+	s.ages[way] = -1
+}
+
+// Snapshot implements SetState; it returns the raw ages.
+func (s *quadAgeSet) Snapshot() []int {
+	out := make([]int, len(s.ages))
+	copy(out, s.ages)
+	return out
+}

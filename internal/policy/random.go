@@ -1,0 +1,51 @@
+package policy
+
+import "math/rand"
+
+// Random evicts a uniformly random evictable way. Deterministic for a given
+// seed; used as the weakest baseline in policy-comparison experiments.
+type Random struct {
+	Seed int64
+}
+
+// NewRandom returns the policy with the given seed.
+func NewRandom(seed int64) *Random { return &Random{Seed: seed} }
+
+// Name implements Policy.
+func (*Random) Name() string { return "random" }
+
+// NewSet implements Policy.
+func (p *Random) NewSet(ways int) SetState {
+	return &randomSet{ways: ways, rng: rand.New(rand.NewSource(p.Seed))}
+}
+
+type randomSet struct {
+	ways int
+	rng  *rand.Rand
+}
+
+// Victim implements SetState.
+func (s *randomSet) Victim(evictable func(way int) bool) int {
+	candidates := make([]int, 0, s.ways)
+	for way := 0; way < s.ways; way++ {
+		if evictable(way) {
+			candidates = append(candidates, way)
+		}
+	}
+	if len(candidates) == 0 {
+		return -1
+	}
+	return candidates[s.rng.Intn(len(candidates))]
+}
+
+// OnFill implements SetState.
+func (*randomSet) OnFill(int, AccessClass) {}
+
+// OnHit implements SetState.
+func (*randomSet) OnHit(int, AccessClass) {}
+
+// OnInvalidate implements SetState.
+func (*randomSet) OnInvalidate(int) {}
+
+// Snapshot implements SetState.
+func (s *randomSet) Snapshot() []int { return make([]int, s.ways) }

@@ -1,0 +1,104 @@
+package policy
+
+import "math/bits"
+
+// TreePLRU is the classic binary-tree pseudo-LRU used by Intel L1 data
+// caches: a complete binary tree of direction bits over the ways; a hit
+// points every node on the way's root path away from it, and the victim is
+// found by following the direction bits from the root.
+//
+// The way count must be a power of two.
+type TreePLRU struct{}
+
+// NewTreePLRU returns the policy.
+func NewTreePLRU() *TreePLRU { return &TreePLRU{} }
+
+// Name implements Policy.
+func (*TreePLRU) Name() string { return "tree-plru" }
+
+// NewSet implements Policy.
+func (*TreePLRU) NewSet(ways int) SetState {
+	if ways <= 0 || bits.OnesCount(uint(ways)) != 1 {
+		panic("policy: TreePLRU requires a power-of-two way count")
+	}
+	return &treePLRUSet{
+		ways: ways,
+		node: make([]bool, ways-1), // false = left subtree is colder
+	}
+}
+
+type treePLRUSet struct {
+	ways int
+	node []bool // heap-ordered internal nodes; node[0] is the root
+}
+
+// touch points the root path of way away from it, marking it most recent.
+func (s *treePLRUSet) touch(way int) {
+	// Walk from the root: at each node, descend toward the way and set
+	// the node to point to the *other* side.
+	idx := 0
+	lo, hi := 0, s.ways
+	for hi-lo > 1 {
+		mid := (lo + hi) / 2
+		goRight := way >= mid
+		s.node[idx] = !goRight // point away from the accessed side
+		if goRight {
+			idx = 2*idx + 2
+			lo = mid
+		} else {
+			idx = 2*idx + 1
+			hi = mid
+		}
+	}
+}
+
+// Victim follows the direction bits to the PLRU leaf. If that leaf is not
+// evictable it falls back to the first evictable way — hardware stalls
+// instead, but the distinction never matters at the private levels where
+// this policy is used.
+func (s *treePLRUSet) Victim(evictable func(way int) bool) int {
+	idx := 0
+	lo, hi := 0, s.ways
+	for hi-lo > 1 {
+		mid := (lo + hi) / 2
+		if s.node[idx] { // true = right subtree is colder
+			idx = 2*idx + 2
+			lo = mid
+		} else {
+			idx = 2*idx + 1
+			hi = mid
+		}
+	}
+	if evictable(lo) {
+		return lo
+	}
+	for way := 0; way < s.ways; way++ {
+		if evictable(way) {
+			return way
+		}
+	}
+	return -1
+}
+
+// OnFill implements SetState.
+func (s *treePLRUSet) OnFill(way int, _ AccessClass) { s.touch(way) }
+
+// OnHit implements SetState.
+func (s *treePLRUSet) OnHit(way int, _ AccessClass) { s.touch(way) }
+
+// OnInvalidate implements SetState. Tree-PLRU keeps no per-way validity, so
+// nothing to clear; the cache prefers invalid ways before asking for a
+// victim.
+func (s *treePLRUSet) OnInvalidate(int) {}
+
+// Snapshot implements SetState. Tree-PLRU has no per-way rank; report the
+// victim-path leaf as 1 and everything else as 0 so traces show the
+// candidate.
+func (s *treePLRUSet) Snapshot() []int {
+	out := make([]int, s.ways)
+	v := s.Victim(func(int) bool { return true })
+	if v >= 0 {
+		out[v] = 1
+	}
+	return out
+}

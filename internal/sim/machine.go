@@ -1,0 +1,222 @@
+// Package sim runs attacker/victim programs against a hier.Hierarchy on a
+// deterministic global cycle clock. Each program (Agent) is an ordinary Go
+// function making memory operations through its Core; the Machine resumes
+// exactly one agent at a time — always the one earliest on the clock — so
+// cross-core interleavings are reproducible bit-for-bit for a given seed,
+// while the attack code reads like the paper's listings.
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"leakyway/internal/hier"
+	"leakyway/internal/mem"
+)
+
+// errKilled is panicked inside daemon agents when the machine shuts down;
+// the agent wrapper recovers it.
+type killedError struct{}
+
+func (killedError) Error() string { return "sim: agent killed" }
+
+// Machine owns the hierarchy, the physical memory pool and the agents.
+type Machine struct {
+	H    *hier.Hierarchy
+	Phys *mem.PhysMem
+
+	// Kernel is the shared kernel address space: mapped into every
+	// process's upper half, inaccessible but *translated* — exactly the
+	// surface prefetch-timing KASLR attacks probe. Nil until
+	// KernelSpace is first called.
+	Kernel *mem.AddressSpace
+
+	agents []*Agent
+	rng    *rand.Rand
+	// SyncSlack is the ± jitter applied by Core.WaitUntil, modelling the
+	// granularity of a TSC spin-wait loop.
+	SyncSlack int64
+}
+
+// NewMachine builds a machine for the given platform config with a physical
+// memory pool of memBytes. All jitter, frame shuffling and sync slack derive
+// from seed.
+func NewMachine(cfg hier.Config, memBytes uint64, seed int64) (*Machine, error) {
+	cfg.Seed = seed
+	h, err := hier.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Machine{
+		H:         h,
+		Phys:      mem.NewPhysMem(memBytes, seed^0x9e3779b9),
+		rng:       rand.New(rand.NewSource(seed ^ 0x5DEECE66D)),
+		SyncSlack: 3,
+	}, nil
+}
+
+// MustNewMachine is NewMachine for static configs; it panics on error.
+func MustNewMachine(cfg hier.Config, memBytes uint64, seed int64) *Machine {
+	m, err := NewMachine(cfg, memBytes, seed)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// NewSpace allocates a fresh address space over the machine's memory.
+func (m *Machine) NewSpace() *mem.AddressSpace { return mem.NewAddressSpace(m.Phys) }
+
+// KernelSpace returns the machine-wide kernel address space, creating it on
+// first use.
+func (m *Machine) KernelSpace() *mem.AddressSpace {
+	if m.Kernel == nil {
+		m.Kernel = mem.NewAddressSpace(m.Phys)
+	}
+	return m.Kernel
+}
+
+// Agent is one running program pinned to a core.
+type Agent struct {
+	Name   string
+	Daemon bool
+
+	core    *Core
+	fn      func(*Core)
+	resume  chan struct{}
+	yielded chan struct{}
+	done    bool
+	err     any // recovered panic, if any (killedError excluded)
+}
+
+// Spawn registers a program pinned to coreID using the given address space.
+// The agent does not run until Run is called. A nil address space gets a
+// fresh private one.
+func (m *Machine) Spawn(name string, coreID int, as *mem.AddressSpace, fn func(*Core)) *Agent {
+	return m.spawn(name, coreID, as, fn, false)
+}
+
+// SpawnDaemon registers a background program (victim, noise generator) that
+// is allowed to loop forever; Run returns when all non-daemon agents finish
+// and daemons are then killed.
+func (m *Machine) SpawnDaemon(name string, coreID int, as *mem.AddressSpace, fn func(*Core)) *Agent {
+	return m.spawn(name, coreID, as, fn, true)
+}
+
+func (m *Machine) spawn(name string, coreID int, as *mem.AddressSpace, fn func(*Core), daemon bool) *Agent {
+	if coreID < 0 || coreID >= m.H.Config().Cores {
+		panic(fmt.Sprintf("sim: Spawn(%q): core %d out of range", name, coreID))
+	}
+	if as == nil {
+		as = m.NewSpace()
+	}
+	a := &Agent{
+		Name:    name,
+		Daemon:  daemon,
+		fn:      fn,
+		resume:  make(chan struct{}),
+		yielded: make(chan struct{}),
+	}
+	a.core = &Core{m: m, agent: a, ID: coreID, AS: as}
+	m.agents = append(m.agents, a)
+	return a
+}
+
+// Run starts every spawned agent and interleaves them in clock order until
+// all non-daemon agents complete; daemons are then torn down. It panics if
+// an agent panicked (propagating the original value), since that always
+// indicates a harness bug. Agents spawned after Run returns belong to a
+// fresh Run call.
+func (m *Machine) Run() {
+	for _, a := range m.agents {
+		a.start()
+	}
+	for {
+		a := m.nextRunnable()
+		if a == nil {
+			break
+		}
+		a.resume <- struct{}{}
+		<-a.yielded
+		if a.done && a.err != nil {
+			m.killAll()
+			panic(fmt.Sprintf("sim: agent %q panicked: %v", a.Name, a.err))
+		}
+	}
+	m.killAll()
+	m.agents = nil
+}
+
+// nextRunnable picks the live non-done agent with the smallest core clock,
+// but only while at least one non-daemon agent remains.
+func (m *Machine) nextRunnable() *Agent {
+	workLeft := false
+	for _, a := range m.agents {
+		if !a.Daemon && !a.done {
+			workLeft = true
+			break
+		}
+	}
+	if !workLeft {
+		return nil
+	}
+	var best *Agent
+	for _, a := range m.agents {
+		if a.done {
+			continue
+		}
+		if best == nil || a.core.now < best.core.now {
+			best = a
+		}
+	}
+	return best
+}
+
+// killAll tears down any still-running agents (daemons).
+func (m *Machine) killAll() {
+	for _, a := range m.agents {
+		if a.done {
+			continue
+		}
+		close(a.resume)
+		<-a.yielded
+	}
+}
+
+// start launches the agent goroutine; it stays parked until first resumed.
+func (a *Agent) start() {
+	go func() {
+		defer func() {
+			if r := recover(); r != nil {
+				if _, isKill := r.(killedError); !isKill {
+					a.err = r
+				}
+			}
+			a.done = true
+			a.yielded <- struct{}{}
+		}()
+		if _, ok := <-a.resume; !ok {
+			panic(killedError{})
+		}
+		a.fn(a.core)
+	}()
+}
+
+// yield hands control back to the machine and waits for the next turn.
+func (a *Agent) yield() {
+	a.yielded <- struct{}{}
+	if _, ok := <-a.resume; !ok {
+		panic(killedError{})
+	}
+}
+
+// AgentNames lists spawned agents in deterministic order (test helper).
+func (m *Machine) AgentNames() []string {
+	names := make([]string, len(m.agents))
+	for i, a := range m.agents {
+		names[i] = a.Name
+	}
+	sort.Strings(names)
+	return names
+}

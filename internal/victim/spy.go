@@ -1,0 +1,47 @@
+package victim
+
+import (
+	"leakyway/internal/core"
+	"leakyway/internal/mem"
+	"leakyway/internal/sim"
+)
+
+// SpyTTable mounts a Flush+Reload monitor over the victim's T-table: after
+// each encryption it reloads every table line with timing (hit = the
+// encryption touched it) and flushes it again for the next round. It
+// returns one Observation per monitored encryption, aligned with the
+// victim's recorded plaintexts.
+//
+// The attacker must share the T-table mapping (MapShared) and run on a
+// different core. Windows must leave room for the 16 timed reloads plus 16
+// flushes (≈4.5K cycles on the Skylake calibration); 8K-cycle windows work.
+func SpyTTable(m *sim.Machine, coreID int, as *mem.AddressSpace, v *AESVictim, encryptions int) *[]Observation {
+	obs := &[]Observation{}
+	m.Spawn("aes-spy", coreID, as, func(c *sim.Core) {
+		th := core.Calibrate(c, 48)
+		// Prime: all table lines uncached before the first encryption.
+		for l := 0; l < TTableLines; l++ {
+			c.Flush(v.Table + mem.VAddr(l*mem.LineSize))
+		}
+		c.Fence()
+		for i := 0; i < encryptions; i++ {
+			// The encryption of window i runs right at the window
+			// start; probe mid-window, after it finished and before
+			// the next one begins.
+			c.WaitUntil(v.Start + int64(i)*v.Window + v.Window/3)
+			var o Observation
+			for l := 0; l < TTableLines; l++ {
+				va := v.Table + mem.VAddr(l*mem.LineSize)
+				if t := c.TimedLoad(va); !th.IsMiss(t) {
+					o.Lines[l] = true
+				}
+				c.Flush(va)
+			}
+			if i < len(v.Plaintexts) {
+				o.Plaintext = v.Plaintexts[i]
+				*obs = append(*obs, o)
+			}
+		}
+	})
+	return obs
+}

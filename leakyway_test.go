@@ -1,0 +1,117 @@
+package leakyway
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// The facade tests exercise the public API end to end, the way the examples
+// and a downstream user would.
+
+func TestPlatforms(t *testing.T) {
+	sky, kbl := Skylake(), KabyLake()
+	if sky.Name == kbl.Name {
+		t.Fatal("platforms indistinguishable")
+	}
+	if len(Platforms()) != 2 {
+		t.Fatal("want both paper platforms")
+	}
+	if _, ok := PlatformByName("skylake"); !ok {
+		t.Fatal("skylake not resolvable")
+	}
+	if _, ok := PlatformByName("pentium"); ok {
+		t.Fatal("nonexistent platform resolved")
+	}
+}
+
+func TestPublicChannelRoundTrip(t *testing.T) {
+	plat := Skylake()
+	cfg := DefaultChannelConfig(plat)
+	cfg.Interval = 1600
+	cfg.NoisePeriod = 0
+	payload := []byte("public api")
+	m := MustNewMachine(plat, 1<<30, 5)
+	rep, bits := RunNTPNTP(m, cfg, BytesToBits(payload))
+	if rep.Errors != 0 {
+		t.Fatalf("errors: %d", rep.Errors)
+	}
+	if got := string(BitsToBytes(bits)); got != string(payload) {
+		t.Fatalf("round trip = %q", got)
+	}
+}
+
+func TestPublicPrimeProbe(t *testing.T) {
+	plat := Skylake()
+	cfg := DefaultChannelConfig(plat)
+	cfg.Interval = 9000
+	cfg.NoisePeriod = 0
+	m := MustNewMachine(plat, 1<<30, 5)
+	rep, _ := RunPrimeProbe(m, cfg, RandomMessage(300, 2))
+	if rep.BER > 0.02 {
+		t.Fatalf("Prime+Probe BER = %.2f%%", 100*rep.BER)
+	}
+}
+
+func TestPublicAttacks(t *testing.T) {
+	res := RunScope(Skylake(), PrimePrefetchScope, ScopeConfig{Iterations: 100}, 3)
+	if len(res.Detections) == 0 {
+		t.Fatal("scope attack detected nothing")
+	}
+	ref := RunRefresh(Skylake(), PrefetchRefreshV2, RefreshConfig{Iterations: 100}, 3)
+	if ref.Accuracy < 0.95 {
+		t.Fatalf("refresh accuracy = %.2f", ref.Accuracy)
+	}
+}
+
+func TestPublicEvset(t *testing.T) {
+	m := MustNewMachine(Skylake(), 1<<30, 9)
+	as := m.NewSpace()
+	var res EvsetResult
+	var err error
+	var target VAddr
+	m.Spawn("a", 0, as, func(c *Core) {
+		th := Calibrate(c, 32)
+		target = c.Alloc(PageSize)
+		res, err = BuildPrefetchEvset(c, target, EvsetOptions{
+			Desired: 4, Pool: NewEvsetPool(c, target, 2048), Thresholds: th,
+		})
+	})
+	m.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok := VerifyEvset(m, as, target, res.Set); ok != 4 {
+		t.Fatalf("verified %d/4 congruent lines", ok)
+	}
+}
+
+func TestPublicExperimentRegistry(t *testing.T) {
+	if len(Experiments()) < 20 {
+		t.Fatalf("registry holds %d experiments; want the full suite", len(Experiments()))
+	}
+	var buf bytes.Buffer
+	ctx := NewExperimentContext(&buf)
+	ctx.Quick = true
+	r, err := RunExperiment(ctx, "fig1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Metrics["eviction_order_matches_paper"] != 1 {
+		t.Fatal("fig1 metric wrong through the facade")
+	}
+	if !strings.Contains(buf.String(), "fig1") {
+		t.Fatal("no rendered output")
+	}
+}
+
+func TestRepetitionCodecFacade(t *testing.T) {
+	bits := BytesToBits([]byte{0xA5})
+	enc := EncodeRepetition(bits, 3)
+	dec := DecodeRepetition(enc, 3)
+	for i := range bits {
+		if bits[i] != dec[i] {
+			t.Fatal("codec mismatch")
+		}
+	}
+}
