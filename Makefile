@@ -1,0 +1,31 @@
+# Build/verify entry points. `make verify` is the tier-1 gate: build,
+# tests, and the race detector over the whole module (the parallel
+# experiment engine must stay clean under -race).
+
+GO ?= go
+
+.PHONY: all build test race verify bench bench-jobs clean
+
+all: verify
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+verify: build test race
+
+# Full benchmark sweep (quick-mode trial counts).
+bench:
+	$(GO) test -bench . -benchtime 1x -run '^$$' .
+
+# Engine scaling curve: the full suite at 1/2/4/8 workers.
+bench-jobs:
+	$(GO) test -bench 'BenchmarkRunAllJobs' -benchtime 3x -run '^$$' .
+
+clean:
+	$(GO) clean ./...

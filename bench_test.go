@@ -106,6 +106,27 @@ func BenchmarkAblatePolicy(b *testing.B) {
 	benchExperiment(b, "ablate-policy", "countermeasure_capacity")
 }
 
+// Engine scaling: the quick-mode full suite at several worker counts.
+// The jobs=N curves only separate on a multi-core host; on a single-CPU
+// runner all four collapse to the serial time (see BENCH.json).
+
+func benchRunAllJobs(b *testing.B, jobs int) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		ctx := NewExperimentContext(io.Discard)
+		ctx.Quick = true
+		ctx.Jobs = jobs
+		if _, err := RunAllExperiments(ctx); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRunAllJobs1(b *testing.B) { benchRunAllJobs(b, 1) }
+func BenchmarkRunAllJobs2(b *testing.B) { benchRunAllJobs(b, 2) }
+func BenchmarkRunAllJobs4(b *testing.B) { benchRunAllJobs(b, 4) }
+func BenchmarkRunAllJobs8(b *testing.B) { benchRunAllJobs(b, 8) }
+
 // Substrate micro-benchmarks: simulated memory operations per wall-clock
 // second.
 

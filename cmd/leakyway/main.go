@@ -12,6 +12,9 @@
 //	-platform skylake|kabylake|both   platforms to simulate (default both)
 //	-seed N                           master seed (default 42)
 //	-quick                            reduced trial counts
+//	-jobs N                           worker goroutines (default NumCPU);
+//	                                  output is identical for every N
+//	-json FILE                        also write all metrics as JSON
 package main
 
 import (
@@ -19,14 +22,18 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 
 	"leakyway"
 )
 
 func main() {
-	platformFlag := flag.String("platform", "both", "platform: skylake, kabylake or both")
-	seed := flag.Int64("seed", 42, "master seed for all stochastic elements")
-	quick := flag.Bool("quick", false, "run with reduced trial counts")
+	var opt options
+	flag.StringVar(&opt.platform, "platform", "both", "platform: skylake, kabylake or both")
+	flag.Int64Var(&opt.seed, "seed", 42, "master seed for all stochastic elements")
+	flag.BoolVar(&opt.quick, "quick", false, "run with reduced trial counts")
+	flag.IntVar(&opt.jobs, "jobs", runtime.NumCPU(), "worker goroutines; results do not depend on this")
+	flag.StringVar(&opt.jsonPath, "json", "", "write metrics of every run experiment to this file as JSON")
 	flag.Usage = usage
 	flag.Parse()
 
@@ -44,7 +51,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, "run: need experiment IDs or 'all'")
 			os.Exit(2)
 		}
-		if err := run(args[1:], *platformFlag, *seed, *quick, os.Stdout); err != nil {
+		if err := run(args[1:], opt, os.Stdout); err != nil {
 			fmt.Fprintln(os.Stderr, "error:", err)
 			os.Exit(1)
 		}
@@ -53,6 +60,15 @@ func main() {
 		usage()
 		os.Exit(2)
 	}
+}
+
+// options carries the flag values that shape a run.
+type options struct {
+	platform string
+	seed     int64
+	quick    bool
+	jobs     int
+	jsonPath string
 }
 
 func usage() {
@@ -75,28 +91,49 @@ func list() {
 	}
 }
 
-func run(ids []string, platformName string, seed int64, quick bool, out io.Writer) error {
+func run(ids []string, opt options, out io.Writer) error {
 	ctx := leakyway.NewExperimentContext(out)
-	ctx.Seed = seed
-	ctx.Quick = quick
-	switch platformName {
+	ctx.Seed = opt.seed
+	ctx.Quick = opt.quick
+	if opt.jobs > 0 {
+		ctx.Jobs = opt.jobs
+	}
+	switch opt.platform {
 	case "both", "":
 		// default platforms
 	default:
-		p, ok := leakyway.PlatformByName(platformName)
+		p, ok := leakyway.PlatformByName(opt.platform)
 		if !ok {
-			return fmt.Errorf("unknown platform %q (want skylake, kabylake or both)", platformName)
+			return fmt.Errorf("unknown platform %q (want skylake, kabylake or both)", opt.platform)
 		}
 		ctx.Platforms = []leakyway.Platform{p}
 	}
 
+	results := map[string]*leakyway.ExperimentResult{}
 	if len(ids) == 1 && ids[0] == "all" {
-		_, err := leakyway.RunAllExperiments(ctx)
-		return err
-	}
-	for _, id := range ids {
-		if _, err := leakyway.RunExperiment(ctx, id); err != nil {
+		all, err := leakyway.RunAllExperiments(ctx)
+		if err != nil {
 			return err
+		}
+		results = all
+	} else {
+		for _, id := range ids {
+			res, err := leakyway.RunExperiment(ctx, id)
+			if err != nil {
+				return err
+			}
+			results[id] = res
+		}
+	}
+
+	if opt.jsonPath != "" {
+		f, err := os.Create(opt.jsonPath)
+		if err != nil {
+			return fmt.Errorf("json export: %w", err)
+		}
+		defer f.Close()
+		if err := leakyway.WriteExperimentMetricsJSON(f, results); err != nil {
+			return fmt.Errorf("json export: %w", err)
 		}
 	}
 	return nil

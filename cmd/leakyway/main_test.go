@@ -1,30 +1,72 @@
 package main
 
 import (
+	"bytes"
+	"encoding/json"
 	"io"
+	"os"
+	"path/filepath"
 	"testing"
 )
 
 func TestRunUnknownExperiment(t *testing.T) {
-	if err := run([]string{"not-an-experiment"}, "both", 1, true, io.Discard); err == nil {
+	if err := run([]string{"not-an-experiment"}, options{platform: "both", seed: 1, quick: true}, io.Discard); err == nil {
 		t.Fatal("unknown experiment accepted")
 	}
 }
 
 func TestRunUnknownPlatform(t *testing.T) {
-	if err := run([]string{"fig1"}, "pentium", 1, true, io.Discard); err == nil {
+	if err := run([]string{"fig1"}, options{platform: "pentium", seed: 1, quick: true}, io.Discard); err == nil {
 		t.Fatal("unknown platform accepted")
 	}
 }
 
 func TestRunSingleExperiment(t *testing.T) {
-	if err := run([]string{"fig1"}, "skylake", 1, true, io.Discard); err != nil {
+	if err := run([]string{"fig1"}, options{platform: "skylake", seed: 1, quick: true}, io.Discard); err != nil {
 		t.Fatalf("fig1 failed: %v", err)
 	}
 }
 
 func TestRunMultipleExperiments(t *testing.T) {
-	if err := run([]string{"table1", "fig1"}, "both", 42, true, io.Discard); err != nil {
+	if err := run([]string{"table1", "fig1"}, options{platform: "both", seed: 42, quick: true}, io.Discard); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestRunJobsIdenticalOutput is the CLI-level determinism check: the same
+// run with different worker counts must produce byte-identical reports.
+func TestRunJobsIdenticalOutput(t *testing.T) {
+	outs := map[int]string{}
+	for _, jobs := range []int{1, 4} {
+		var buf bytes.Buffer
+		opt := options{platform: "both", seed: 42, quick: true, jobs: jobs}
+		if err := run([]string{"fig1", "table1", "fig2"}, opt, &buf); err != nil {
+			t.Fatalf("jobs=%d: %v", jobs, err)
+		}
+		outs[jobs] = buf.String()
+	}
+	if outs[1] != outs[4] {
+		t.Fatalf("output differs between -jobs 1 and -jobs 4:\n--- jobs=1 ---\n%s\n--- jobs=4 ---\n%s", outs[1], outs[4])
+	}
+}
+
+func TestRunJSONExport(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "metrics.json")
+	opt := options{platform: "skylake", seed: 42, quick: true, jobs: 2, jsonPath: path}
+	if err := run([]string{"fig1", "table1"}, opt, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var metrics map[string]map[string]float64
+	if err := json.Unmarshal(raw, &metrics); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	for _, id := range []string{"fig1", "table1"} {
+		if len(metrics[id]) == 0 {
+			t.Fatalf("no metrics exported for %q; got %v", id, metrics)
+		}
 	}
 }

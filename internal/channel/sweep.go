@@ -30,20 +30,43 @@ func (s SweepResult) Peak() Report {
 	return best
 }
 
+// ParallelFor runs fn(0), ..., fn(n-1); implementations may run the
+// calls concurrently, so fn must only write to per-index state. A nil
+// ParallelFor means a plain serial loop.
+type ParallelFor func(n int, fn func(i int))
+
 // Sweep measures a channel across transmission intervals on fresh machines
 // (same platform and seed each point, so points differ only in rate). bits
 // is the message length per point.
 func Sweep(platform hier.Config, run Runner, base Config, intervals []int64, bits int, seed int64) SweepResult {
+	return SweepPar(platform, run, base, intervals, bits, seed, nil)
+}
+
+// SweepPar is Sweep with the points fanned out through pf. Every point
+// runs on its own fresh machine with the same seed and message, so the
+// sweep is embarrassingly parallel and its result is identical to the
+// serial Sweep's for any schedule.
+func SweepPar(platform hier.Config, run Runner, base Config, intervals []int64, bits int, seed int64, pf ParallelFor) SweepResult {
 	msg := RandomMessage(bits, seed)
-	var out SweepResult
-	for _, iv := range intervals {
+	points := make([]Report, len(intervals))
+	body := func(i int) {
 		m := sim.MustNewMachine(platform, 1<<30, seed)
 		cfg := base
-		cfg.Interval = iv
-		rep, _ := run(m, cfg, msg)
-		out.Channel = rep.Channel
-		out.Platform = rep.Platform
-		out.Points = append(out.Points, rep)
+		cfg.Interval = intervals[i]
+		points[i], _ = run(m, cfg, msg)
+	}
+	if pf == nil {
+		for i := range intervals {
+			body(i)
+		}
+	} else {
+		pf(len(intervals), body)
+	}
+	var out SweepResult
+	out.Points = points
+	if len(points) > 0 {
+		out.Channel = points[0].Channel
+		out.Platform = points[0].Platform
 	}
 	return out
 }

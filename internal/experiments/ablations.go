@@ -47,17 +47,26 @@ func runAblateSets(ctx *Context) (*Result, error) {
 		{"one set, spaced receiver (offset 600)", 1, 600},
 		{"one set, receiver inside the in-flight window (offset 60)", 1, 60},
 	}
+	// Flatten the variant × interval grid: every cell is an independent
+	// transmission on its own machine, sharded across free workers.
+	intervals := []int64{1200, 1300, 1500, 1800, 2200}
+	reps := make([]channel.Report, len(variants)*len(intervals))
+	ctx.Parallel(len(reps), func(cell int) {
+		v := variants[cell/len(intervals)]
+		seed := ctx.ShardSeed(cell)
+		m := sim.MustNewMachine(cfg, 1<<30, seed)
+		c := base
+		c.Sets = v.sets
+		c.ReceiverOffset = v.recvOff
+		c.Interval = intervals[cell%len(intervals)]
+		reps[cell], _ = channel.RunNTPNTP(m, c, channel.RandomMessage(bits, seed))
+	})
 	var caps []float64
-	for _, v := range variants {
+	for vi, v := range variants {
 		best := -1.0
 		var bestRep channel.Report
-		for _, iv := range []int64{1200, 1300, 1500, 1800, 2200} {
-			m := sim.MustNewMachine(cfg, 1<<30, ctx.Seed)
-			c := base
-			c.Sets = v.sets
-			c.ReceiverOffset = v.recvOff
-			c.Interval = iv
-			rep, _ := channel.RunNTPNTP(m, c, channel.RandomMessage(bits, ctx.Seed))
+		for ii := range intervals {
+			rep := reps[vi*len(intervals)+ii]
 			if rep.CapacityKBps > best {
 				best = rep.CapacityKBps
 				bestRep = rep
@@ -80,15 +89,21 @@ func runAblateHWPF(ctx *Context) (*Result, error) {
 	cfg := ctx.Platforms[0]
 	bits := ctx.Trials(1500)
 	rows := [][]string{}
-	for _, hw := range []bool{false, true} {
+	modes := []bool{false, true}
+	reps := make([]channel.Report, len(modes))
+	ctx.Parallel(len(modes), func(i int) {
 		p := cfg
-		p.HWPrefetch.AdjacentLine = hw
-		p.HWPrefetch.Stream = hw
+		p.HWPrefetch.AdjacentLine = modes[i]
+		p.HWPrefetch.Stream = modes[i]
 		base := channel.DefaultConfig(p.Name, p.FreqGHz)
 		base.NoisePeriod = 0
 		base.Interval = 1500
-		m := sim.MustNewMachine(p, 1<<30, ctx.Seed)
-		rep, _ := channel.RunNTPNTP(m, base, channel.RandomMessage(bits, ctx.Seed))
+		seed := ctx.ShardSeed(i)
+		m := sim.MustNewMachine(p, 1<<30, seed)
+		reps[i], _ = channel.RunNTPNTP(m, base, channel.RandomMessage(bits, seed))
+	})
+	for i, hw := range modes {
+		rep := reps[i]
 		label := "disabled"
 		key := "off"
 		if hw {
@@ -117,14 +132,19 @@ func runAblatePolicy(ctx *Context) (*Result, error) {
 		{"countermeasure (load=1, NTA=2)", policy.NewQuadAgeCountermeasure(), "countermeasure"},
 		{"SRRIP-HP", policy.NewSRRIP(), "srrip"},
 	}
-	for _, pc := range policies {
+	reps := make([]channel.Report, len(policies))
+	ctx.Parallel(len(policies), func(i int) {
 		p := cfg
-		p.LLCPolicy = pc.pol
+		p.LLCPolicy = policies[i].pol
 		base := channel.DefaultConfig(p.Name, p.FreqGHz)
 		base.NoisePeriod = 0
 		base.Interval = 1500
-		m := sim.MustNewMachine(p, 1<<30, ctx.Seed)
-		rep, _ := channel.RunNTPNTP(m, base, channel.RandomMessage(bits, ctx.Seed))
+		seed := ctx.SeedFor(policies[i].key)
+		m := sim.MustNewMachine(p, 1<<30, seed)
+		reps[i], _ = channel.RunNTPNTP(m, base, channel.RandomMessage(bits, seed))
+	})
+	for i, pc := range policies {
+		rep := reps[i]
 		rows = append(rows, []string{pc.name, fmt.Sprintf("%.2f%%", 100*rep.BER), fmt.Sprintf("%.1f KB/s", rep.CapacityKBps)})
 		res.Metric(pc.key+"_ber", rep.BER)
 		res.Metric(pc.key+"_capacity", rep.CapacityKBps)

@@ -136,12 +136,12 @@ func ppIntervals() []int64 {
 func runFig8(ctx *Context) (*Result, error) {
 	res := &Result{}
 	bits := ctx.Trials(2000)
-	for _, cfg := range ctx.Platforms {
+	err := ctx.EachPlatform(func(sub *Context, cfg hier.Config) error {
 		base := channel.DefaultConfig(cfg.Name, cfg.FreqGHz)
-		ntp := channel.Sweep(cfg, channel.RunNTPNTP, base, ntpIntervals(), bits, ctx.Seed)
-		pp := channel.Sweep(cfg, channel.RunPrimeProbe, base, ppIntervals(), bits, ctx.Seed)
+		ntp := channel.SweepPar(cfg, channel.RunNTPNTP, base, ntpIntervals(), bits, sub.SeedFor("ntpntp"), sub.Parallel)
+		pp := channel.SweepPar(cfg, channel.RunPrimeProbe, base, ppIntervals(), bits, sub.SeedFor("primeprobe"), sub.Parallel)
 		for _, sw := range []channel.SweepResult{ntp, pp} {
-			ctx.Printf("\n%s — %s\n", sw.Channel, sw.Platform)
+			sub.Printf("\n%s — %s\n", sw.Channel, sw.Platform)
 			rows := [][]string{}
 			for _, p := range sw.Points {
 				rows = append(rows, []string{
@@ -151,36 +151,52 @@ func runFig8(ctx *Context) (*Result, error) {
 					fmt.Sprintf("%.1f", p.CapacityKBps),
 				})
 			}
-			renderTable(ctx, []string{"interval (cyc)", "raw rate (KB/s)", "BER", "capacity (KB/s)"}, rows)
+			renderTable(sub, []string{"interval (cyc)", "raw rate (KB/s)", "BER", "capacity (KB/s)"}, rows)
 		}
 		np, pp2 := ntp.Peak(), pp.Peak()
-		ctx.Printf("\npeaks on %s: NTP+NTP %.1f KB/s vs Prime+Probe %.1f KB/s (%.1fx)\n",
+		sub.Printf("\npeaks on %s: NTP+NTP %.1f KB/s vs Prime+Probe %.1f KB/s (%.1fx)\n",
 			cfg.Name, np.CapacityKBps, pp2.CapacityKBps, np.CapacityKBps/pp2.CapacityKBps)
 		res.Metric(shortName(cfg)+"/ntpntp_peak_kbps", np.CapacityKBps)
 		res.Metric(shortName(cfg)+"/primeprobe_peak_kbps", pp2.CapacityKBps)
-	}
-	return res, nil
+		return nil
+	})
+	return res, err
 }
 
 func runTable2(ctx *Context) (*Result, error) {
 	res := &Result{}
 	bits := ctx.Trials(2000)
-	rows := [][]string{}
 	paper := map[string][2]float64{
 		"skylake":  {302, 86},
 		"kabylake": {275, 81},
 	}
-	for _, cfg := range ctx.Platforms {
+	// The sweeps render nothing, so the per-platform rows can be computed
+	// concurrently and assembled into one table afterwards.
+	type peaks struct{ ntp, pp float64 }
+	byPlatform := make([]peaks, len(ctx.Platforms))
+	err := ctx.EachPlatform(func(sub *Context, cfg hier.Config) error {
 		base := channel.DefaultConfig(cfg.Name, cfg.FreqGHz)
-		ntp := channel.Sweep(cfg, channel.RunNTPNTP, base, []int64{1200, 1300, 1500, 1800, 2000}, bits, ctx.Seed).Peak()
-		pp := channel.Sweep(cfg, channel.RunPrimeProbe, base, []int64{6500, 7000, 8000, 9000}, bits, ctx.Seed).Peak()
-		p := paper[shortName(cfg)]
-		rows = append(rows,
-			[]string{cfg.Name, "NTP+NTP", fmt.Sprintf("%.0f KB/s", ntp.CapacityKBps), fmt.Sprintf("%.0f KB/s", p[0])},
-			[]string{cfg.Name, "Prime+Probe", fmt.Sprintf("%.0f KB/s", pp.CapacityKBps), fmt.Sprintf("%.0f KB/s", p[1])},
-		)
+		ntp := channel.SweepPar(cfg, channel.RunNTPNTP, base, []int64{1200, 1300, 1500, 1800, 2000}, bits, sub.SeedFor("ntpntp"), sub.Parallel).Peak()
+		pp := channel.SweepPar(cfg, channel.RunPrimeProbe, base, []int64{6500, 7000, 8000, 9000}, bits, sub.SeedFor("primeprobe"), sub.Parallel).Peak()
+		for i := range ctx.Platforms {
+			if ctx.Platforms[i].Name == cfg.Name {
+				byPlatform[i] = peaks{ntp.CapacityKBps, pp.CapacityKBps}
+			}
+		}
 		res.Metric(shortName(cfg)+"/ntpntp_peak_kbps", ntp.CapacityKBps)
 		res.Metric(shortName(cfg)+"/primeprobe_peak_kbps", pp.CapacityKBps)
+		return nil
+	})
+	if err != nil {
+		return res, err
+	}
+	rows := [][]string{}
+	for i, cfg := range ctx.Platforms {
+		p := paper[shortName(cfg)]
+		rows = append(rows,
+			[]string{cfg.Name, "NTP+NTP", fmt.Sprintf("%.0f KB/s", byPlatform[i].ntp), fmt.Sprintf("%.0f KB/s", p[0])},
+			[]string{cfg.Name, "Prime+Probe", fmt.Sprintf("%.0f KB/s", byPlatform[i].pp), fmt.Sprintf("%.0f KB/s", p[1])},
+		)
 	}
 	renderTable(ctx, []string{"platform", "channel", "measured capacity", "paper"}, rows)
 	return res, nil

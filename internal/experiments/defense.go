@@ -34,14 +34,19 @@ func runDefense(ctx *Context) (*Result, error) {
 		{"way-partitioned LLC (4 ways/core isolation)", "partition", func(p *hier.Config) { p.LLCPartitionWays = 4 }},
 		{"hardened insertion (load=1, NTA=2)", "hardened", func(p *hier.Config) { p.LLCPolicy = policy.NewQuadAgeCountermeasure() }},
 	}
-	for _, v := range variants {
+	reps := make([]channel.Report, len(variants))
+	ctx.Parallel(len(variants), func(i int) {
 		p := base
-		v.mod(&p)
+		variants[i].mod(&p)
 		ccfg := channel.DefaultConfig(p.Name, p.FreqGHz)
 		ccfg.NoisePeriod = 0
 		ccfg.Interval = 1500
-		m := sim.MustNewMachine(p, 1<<30, ctx.Seed)
-		rep, _ := channel.RunNTPNTP(m, ccfg, channel.RandomMessage(bits, ctx.Seed))
+		seed := ctx.SeedFor(variants[i].key)
+		m := sim.MustNewMachine(p, 1<<30, seed)
+		reps[i], _ = channel.RunNTPNTP(m, ccfg, channel.RandomMessage(bits, seed))
+	})
+	for i, v := range variants {
+		rep := reps[i]
 		rows = append(rows, []string{v.name, fmt.Sprintf("%.2f%%", 100*rep.BER), fmt.Sprintf("%.1f KB/s", rep.CapacityKBps)})
 		res.Metric(v.key+"_capacity", rep.CapacityKBps)
 		res.Metric(v.key+"_ber", rep.BER)

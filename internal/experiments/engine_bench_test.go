@@ -1,0 +1,39 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"testing"
+	"time"
+)
+
+// Latency-bound engine scaling. Each synthetic experiment blocks for a
+// fixed wall-time, so the pool's overlap is visible even on a single-CPU
+// host (where the CPU-bound BenchmarkRunAllJobs* curves in the root
+// package collapse): jobs=4 over 8 such experiments should run ~4× faster
+// than jobs=1.
+
+func benchEngineLatencyBound(b *testing.B, jobs int) {
+	b.Helper()
+	const n, wait = 8, 20 * time.Millisecond
+	list := make([]Experiment, n)
+	for i := range list {
+		id := fmt.Sprintf("sleep%02d", i)
+		list[i] = Experiment{ID: id, Title: id, Run: func(ctx *Context) (*Result, error) {
+			time.Sleep(wait)
+			return &Result{}, nil
+		}}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ctx := NewContext(io.Discard)
+		ctx.Jobs = jobs
+		if _, err := runExperiments(ctx, list); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEngineLatencyBoundJobs1(b *testing.B) { benchEngineLatencyBound(b, 1) }
+func BenchmarkEngineLatencyBoundJobs4(b *testing.B) { benchEngineLatencyBound(b, 4) }
+func BenchmarkEngineLatencyBoundJobs8(b *testing.B) { benchEngineLatencyBound(b, 8) }

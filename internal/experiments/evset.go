@@ -6,6 +6,7 @@ import (
 	"leakyway/internal/core"
 	"leakyway/internal/evset"
 	"leakyway/internal/evset/model"
+	"leakyway/internal/hier"
 	"leakyway/internal/mem"
 	"leakyway/internal/sim"
 )
@@ -33,37 +34,48 @@ func runFig13(ctx *Context) (*Result, error) {
 		desired = 8
 		trials = 1
 	}
-	for _, cfg := range ctx.Platforms {
-		var prefMs, baseMs float64
-		var prefRefs, baseRefs float64
-		for trial := 0; trial < trials; trial++ {
-			m := sim.MustNewMachine(cfg, 1<<31, ctx.Seed+int64(trial))
+	err := ctx.EachPlatform(func(sub *Context, cfg hier.Config) error {
+		// Every trial builds both sets on its own machine with a
+		// trial-derived seed, so the trials shard across free workers.
+		type trialOut struct {
+			pr, br evset.Result
+			err    error
+		}
+		outs := make([]trialOut, trials)
+		sub.Parallel(trials, func(trial int) {
+			m := sim.MustNewMachine(cfg, 1<<31, sub.ShardSeed(trial))
 			as := m.NewSpace()
-			var pr, br evset.Result
-			var perr, berr error
+			o := &outs[trial]
 			m.Spawn("attacker", 0, as, func(c *sim.Core) {
 				th := core.Calibrate(c, 48)
 				t1 := c.Alloc(mem.PageSize)
-				pr, perr = evset.BuildPrefetch(c, t1, evset.Options{
+				var perr, berr error
+				o.pr, perr = evset.BuildPrefetch(c, t1, evset.Options{
 					Desired: desired, Pool: evset.NewPool(c, t1, 512*desired), Thresholds: th,
 				})
 				t2 := c.Alloc(mem.PageSize)
-				br, berr = evset.BuildBaseline(c, t2, evset.Options{
-					Desired: desired, Pool: evset.NewPool(c, t2, 2600*desired), Thresholds: th,
+				o.br, berr = evset.BuildBaseline(c, t2, evset.Options{
+					Desired: desired, Pool: evset.NewPool(c, t2, 4000*desired), Thresholds: th,
 				})
+				if perr != nil {
+					o.err = fmt.Errorf("prefetch build: %w", perr)
+				} else if berr != nil {
+					o.err = fmt.Errorf("baseline build: %w", berr)
+				}
 			})
 			m.Run()
-			if perr != nil {
-				return nil, fmt.Errorf("prefetch build: %w", perr)
+		})
+		var prefMs, baseMs float64
+		var prefRefs, baseRefs float64
+		freqHz := cfg.FreqGHz * 1e9
+		for _, o := range outs {
+			if o.err != nil {
+				return o.err
 			}
-			if berr != nil {
-				return nil, fmt.Errorf("baseline build: %w", berr)
-			}
-			freqHz := cfg.FreqGHz * 1e9
-			prefMs += float64(pr.Cycles) / freqHz * 1e3
-			baseMs += float64(br.Cycles) / freqHz * 1e3
-			prefRefs += float64(pr.MemRefs)
-			baseRefs += float64(br.MemRefs)
+			prefMs += float64(o.pr.Cycles) / freqHz * 1e3
+			baseMs += float64(o.br.Cycles) / freqHz * 1e3
+			prefRefs += float64(o.pr.MemRefs)
+			baseRefs += float64(o.br.MemRefs)
 		}
 		n := float64(trials)
 		prefMs, baseMs, prefRefs, baseRefs = prefMs/n, baseMs/n, prefRefs/n, baseRefs/n
@@ -71,14 +83,15 @@ func runFig13(ctx *Context) (*Result, error) {
 			{"baseline (access-based)", fmt.Sprintf("%.3f ms", baseMs), fmt.Sprintf("%.0f", baseRefs)},
 			{"ours (Algorithm 2)", fmt.Sprintf("%.3f ms", prefMs), fmt.Sprintf("%.0f", prefRefs)},
 		}
-		ctx.Printf("\n%s (eviction set of %d lines)\n", cfg.Name, desired)
-		renderTable(ctx, []string{"algorithm", "execution time", "memory references"}, rows)
-		ctx.Printf("speedup: %.1fx in time, %.1fx in references\n", baseMs/prefMs, baseRefs/prefRefs)
+		sub.Printf("\n%s (eviction set of %d lines)\n", cfg.Name, desired)
+		renderTable(sub, []string{"algorithm", "execution time", "memory references"}, rows)
+		sub.Printf("speedup: %.1fx in time, %.1fx in references\n", baseMs/prefMs, baseRefs/prefRefs)
 		res.Metric(shortName(cfg)+"/baseline_ms", baseMs)
 		res.Metric(shortName(cfg)+"/prefetch_ms", prefMs)
 		res.Metric(shortName(cfg)+"/time_speedup", baseMs/prefMs)
-	}
-	return res, nil
+		return nil
+	})
+	return res, err
 }
 
 func runCounter(ctx *Context) (*Result, error) {

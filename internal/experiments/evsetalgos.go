@@ -25,8 +25,6 @@ func runEvsetAlgos(ctx *Context) (*Result, error) {
 	if ctx.Quick {
 		desired = 8
 	}
-	m := sim.MustNewMachine(cfg, 1<<31, ctx.Seed)
-	as := m.NewSpace()
 	freqHz := cfg.FreqGHz * 1e9
 
 	type row struct {
@@ -37,50 +35,68 @@ func runEvsetAlgos(ctx *Context) (*Result, error) {
 		correct int
 		total   int
 	}
-	rows := make([]row, 4)
-	var targets [4]mem.VAddr
-
-	m.Spawn("attacker", 0, as, func(c *sim.Core) {
-		th := core.Calibrate(c, 48)
-
-		targets[0] = c.Alloc(mem.PageSize)
-		rows[0] = row{name: "Algorithm 2 (prefetch)", key: "prefetch"}
-		rows[0].r, rows[0].err = evset.BuildPrefetch(c, targets[0], evset.Options{
-			Desired: desired, Pool: evset.NewPool(c, targets[0], 512*desired), Thresholds: th,
-		})
-
-		targets[1] = c.Alloc(mem.PageSize)
-		rows[1] = row{name: "access baseline [42]", key: "baseline"}
-		rows[1].r, rows[1].err = evset.BuildBaseline(c, targets[1], evset.Options{
-			Desired: desired, Pool: evset.NewPool(c, targets[1], 2600*desired), Thresholds: th,
-		})
-
+	// Each algorithm builds against its own machine (seeded per
+	// algorithm), so the four constructions shard across free workers —
+	// the group-testing build alone used to dominate this experiment's
+	// serial runtime.
+	algos := []struct {
+		name  string
+		key   string
+		build func(c *sim.Core, th core.Thresholds) (mem.VAddr, evset.Result, error)
+	}{
+		{"Algorithm 2 (prefetch)", "prefetch", func(c *sim.Core, th core.Thresholds) (mem.VAddr, evset.Result, error) {
+			t := c.Alloc(mem.PageSize)
+			r, err := evset.BuildPrefetch(c, t, evset.Options{
+				Desired: desired, Pool: evset.NewPool(c, t, 512*desired), Thresholds: th,
+			})
+			return t, r, err
+		}},
+		{"access baseline [42]", "baseline", func(c *sim.Core, th core.Thresholds) (mem.VAddr, evset.Result, error) {
+			t := c.Alloc(mem.PageSize)
+			r, err := evset.BuildBaseline(c, t, evset.Options{
+				Desired: desired, Pool: evset.NewPool(c, t, 2600*desired), Thresholds: th,
+			})
+			return t, r, err
+		}},
 		// Group testing must target the full associativity: a smaller
 		// set cannot evict the target at all on a 16-way LLC.
-		gtWant := cfg.LLCWays
-		targets[2] = c.Alloc(mem.PageSize)
-		rows[2] = row{name: "group testing [62]", key: "grouptest"}
-		rows[2].r, rows[2].err = evset.BuildGroupTesting(c, targets[2], evset.Options{
-			Desired: gtWant, Pool: evset.NewPool(c, targets[2], 512*gtWant), Thresholds: th,
-		})
-
-		rows[3] = row{name: "Algorithm 2 + huge pages", key: "hugepage"}
-		ht, hp, err := evset.NewHugePool(c, cfg.LLCSetsPerSlice, 24*desired)
-		if err == nil {
-			targets[3] = ht
-			rows[3].r, rows[3].err = evset.BuildPrefetch(c, ht, evset.Options{
+		{"group testing [62]", "grouptest", func(c *sim.Core, th core.Thresholds) (mem.VAddr, evset.Result, error) {
+			gtWant := cfg.LLCWays
+			t := c.Alloc(mem.PageSize)
+			r, err := evset.BuildGroupTesting(c, t, evset.Options{
+				Desired: gtWant, Pool: evset.NewPool(c, t, 512*gtWant), Thresholds: th,
+			})
+			return t, r, err
+		}},
+		{"Algorithm 2 + huge pages", "hugepage", func(c *sim.Core, th core.Thresholds) (mem.VAddr, evset.Result, error) {
+			ht, hp, err := evset.NewHugePool(c, cfg.LLCSetsPerSlice, 24*desired)
+			if err != nil {
+				return 0, evset.Result{}, err
+			}
+			r, err := evset.BuildPrefetch(c, ht, evset.Options{
 				Desired: desired, Pool: hp, Thresholds: th,
 			})
-		} else {
-			rows[3].err = err
-		}
+			return ht, r, err
+		}},
+	}
+
+	rows := make([]row, len(algos))
+	ctx.Parallel(len(algos), func(i int) {
+		m := sim.MustNewMachine(cfg, 1<<31, ctx.SeedFor(algos[i].key))
+		as := m.NewSpace()
+		rows[i] = row{name: algos[i].name, key: algos[i].key}
+		var target mem.VAddr
+		m.Spawn("attacker", 0, as, func(c *sim.Core) {
+			th := core.Calibrate(c, 48)
+			target, rows[i].r, rows[i].err = algos[i].build(c, th)
+		})
+		m.Run()
+		rows[i].total = len(rows[i].r.Set)
+		rows[i].correct = evset.Verify(m, as, target, rows[i].r.Set)
 	})
-	m.Run()
 
 	out := [][]string{}
 	for i := range rows {
-		rows[i].total = len(rows[i].r.Set)
-		rows[i].correct = evset.Verify(m, as, targets[i], rows[i].r.Set)
 		status := fmt.Sprintf("%d/%d congruent", rows[i].correct, rows[i].total)
 		if rows[i].err != nil {
 			status = rows[i].err.Error()

@@ -8,8 +8,10 @@ package experiments
 import (
 	"fmt"
 	"io"
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
 
 	"leakyway/internal/hier"
 	"leakyway/internal/platform"
@@ -19,12 +21,27 @@ import (
 type Context struct {
 	// Platforms are the machines to run on (defaults to Table I's two).
 	Platforms []hier.Config
-	// Seed drives every stochastic element.
+	// Seed drives every stochastic element. The engine never feeds it to
+	// an RNG directly: every task derives its own stream with SplitSeed,
+	// so results are independent of scheduling (see seed.go).
 	Seed int64
 	// Quick reduces trial counts (used by tests and -quick runs).
 	Quick bool
 	// Out receives the rendered report.
 	Out io.Writer
+	// Jobs caps the engine-wide worker count (experiments running
+	// concurrently plus trial shards inside them). 0 and 1 both mean
+	// serial. Any value produces byte-identical output for a given seed.
+	Jobs int
+
+	// mu serializes writes to Out. The engine gives every task a private
+	// buffer, so under RunAll this is never contended; it exists so that
+	// a hand-built Context shared across goroutines still never tears a
+	// single Printf.
+	mu sync.Mutex
+	// sem is the engine-wide worker-token bucket shared by child
+	// contexts; see Parallel in engine.go.
+	sem chan struct{}
 }
 
 // NewContext returns a default context writing to out.
@@ -33,8 +50,31 @@ func NewContext(out io.Writer) *Context {
 		Platforms: platform.All(),
 		Seed:      42,
 		Out:       out,
+		Jobs:      runtime.NumCPU(),
 	}
 }
+
+// child clones the run parameters into a task context with its own seed
+// and output sink. The worker-token bucket is shared so nested
+// parallelism stays under the global -jobs cap.
+func (ctx *Context) child(seed int64, out io.Writer) *Context {
+	return &Context{
+		Platforms: ctx.Platforms,
+		Seed:      seed,
+		Quick:     ctx.Quick,
+		Out:       out,
+		Jobs:      ctx.Jobs,
+		sem:       ctx.sem,
+	}
+}
+
+// SeedFor derives the seed for a named sub-task of this context.
+func (ctx *Context) SeedFor(parts ...string) int64 {
+	return SplitSeed(ctx.Seed, parts...)
+}
+
+// ShardSeed derives the seed for numbered trial shard i.
+func (ctx *Context) ShardSeed(i int) int64 { return splitSeedIndex(ctx.Seed, i) }
 
 // Trials scales a full trial count down in quick mode.
 func (ctx *Context) Trials(full int) int {
@@ -54,22 +94,40 @@ func (ctx *Context) Trials(full int) int {
 // Printf writes to the context's output.
 func (ctx *Context) Printf(format string, args ...any) {
 	if ctx.Out != nil {
+		ctx.mu.Lock()
 		fmt.Fprintf(ctx.Out, format, args...)
+		ctx.mu.Unlock()
 	}
 }
 
-// Result is an experiment's machine-checkable outcome.
+// Result is an experiment's machine-checkable outcome. Metric is safe to
+// call from concurrent trial shards; the final map depends only on the
+// names and values recorded, never on recording order.
 type Result struct {
 	// Metrics hold named scalar outcomes ("skylake/ntpntp_peak_kbps").
 	Metrics map[string]float64
+
+	mu sync.Mutex
 }
 
 // Metric records one named value.
 func (r *Result) Metric(name string, v float64) {
+	r.mu.Lock()
 	if r.Metrics == nil {
 		r.Metrics = map[string]float64{}
 	}
 	r.Metrics[name] = v
+	r.mu.Unlock()
+}
+
+// Merge copies every metric of other into r (nil is a no-op).
+func (r *Result) Merge(other *Result) {
+	if other == nil {
+		return
+	}
+	for k, v := range other.Metrics {
+		r.Metric(k, v)
+	}
 }
 
 // Experiment is one table/figure reproduction.
@@ -147,29 +205,26 @@ func header(ctx *Context, e Experiment) {
 	}
 }
 
-// RunOne executes a single experiment by ID with its banner.
+// RunOne executes a single experiment by ID with its banner. The
+// experiment sees the same derived seed it would inside RunAll, so a
+// single-experiment run regenerates exactly its section of the full
+// report.
 func RunOne(ctx *Context, id string) (*Result, error) {
 	e, ok := ByID(id)
 	if !ok {
 		return nil, fmt.Errorf("experiments: unknown experiment %q (have: %s)", id, strings.Join(IDs(), ", "))
 	}
-	header(ctx, e)
-	return e.Run(ctx)
+	results, err := runExperiments(ctx, []Experiment{e})
+	return results[e.ID], err
 }
 
 // RunAll executes every registered experiment in paper order, collecting
-// metrics.
+// metrics. With ctx.Jobs > 1 experiments run on a worker pool (and the
+// heavy experiments additionally shard their trials), but every task
+// renders into a private buffer and buffers are flushed in paper order,
+// so the report is byte-identical for any job count.
 func RunAll(ctx *Context) (map[string]*Result, error) {
-	out := map[string]*Result{}
-	for _, e := range All() {
-		header(ctx, e)
-		r, err := e.Run(ctx)
-		if err != nil {
-			return out, fmt.Errorf("experiments: %s: %w", e.ID, err)
-		}
-		out[e.ID] = r
-	}
-	return out, nil
+	return runExperiments(ctx, All())
 }
 
 // renderTable prints an aligned text table.

@@ -24,15 +24,25 @@ func runNoise(ctx *Context) (*Result, error) {
 	base.Interval = 1600
 
 	rows := [][]string{}
-	for _, period := range []int64{0, 400_000, 100_000, 40_000, 15_000} {
+	periods := []int64{0, 400_000, 100_000, 40_000, 15_000}
+	// Every noise level runs its raw and Hamming-protected transmissions
+	// on private machines with a level-derived seed, so the levels shard
+	// across free workers.
+	type levelOut struct {
+		raw      channel.Report
+		residual float64
+	}
+	outs := make([]levelOut, len(periods))
+	ctx.Parallel(len(periods), func(pi int) {
 		c := base
-		c.NoisePeriod = period
+		c.NoisePeriod = periods[pi]
+		seed := ctx.SeedFor(fmt.Sprintf("noise%d", periods[pi]))
 
-		msg := channel.RandomMessage(bits, ctx.Seed)
+		msg := channel.RandomMessage(bits, seed)
 
 		// Raw transmission.
-		m := sim.MustNewMachine(cfg, 1<<30, ctx.Seed)
-		raw, _ := channel.RunNTPNTP(m, c, msg)
+		m := sim.MustNewMachine(cfg, 1<<30, seed)
+		outs[pi].raw, _ = channel.RunNTPNTP(m, c, msg)
 
 		// Hamming(7,4)-protected transmission of the same payload,
 		// block-interleaved so that burst errors (a stuck sender line
@@ -40,7 +50,7 @@ func runNoise(ctx *Context) (*Result, error) {
 		// in distinct codewords.
 		const depth = 56
 		enc := channel.Interleave(channel.EncodeHamming74(msg), depth)
-		m2 := sim.MustNewMachine(cfg, 1<<30, ctx.Seed)
+		m2 := sim.MustNewMachine(cfg, 1<<30, seed)
 		_, encBits := channel.RunNTPNTP(m2, c, enc)
 		dec := channel.DecodeHamming74(channel.Deinterleave(encBits, depth))
 		decErr := 0
@@ -49,21 +59,22 @@ func runNoise(ctx *Context) (*Result, error) {
 				decErr++
 			}
 		}
-		residual := float64(decErr) / float64(len(msg))
-
+		outs[pi].residual = float64(decErr) / float64(len(msg))
+	})
+	for pi, period := range periods {
 		label := "quiet"
 		if period > 0 {
 			label = fmt.Sprintf("1 fill / %dK cycles", period/1000)
 		}
 		rows = append(rows, []string{
 			label,
-			fmt.Sprintf("%.2f%%", 100*raw.BER),
-			fmt.Sprintf("%.1f KB/s", raw.CapacityKBps),
-			fmt.Sprintf("%.2f%%", 100*residual),
+			fmt.Sprintf("%.2f%%", 100*outs[pi].raw.BER),
+			fmt.Sprintf("%.1f KB/s", outs[pi].raw.CapacityKBps),
+			fmt.Sprintf("%.2f%%", 100*outs[pi].residual),
 		})
 		key := fmt.Sprintf("noise%d", period)
-		res.Metric(key+"_raw_ber", raw.BER)
-		res.Metric(key+"_hamming_residual", residual)
+		res.Metric(key+"_raw_ber", outs[pi].raw.BER)
+		res.Metric(key+"_hamming_residual", outs[pi].residual)
 	}
 	renderTable(ctx, []string{"co-tenant noise", "raw BER", "raw capacity", "interleaved Hamming(7,4) residual"}, rows)
 	ctx.Printf("noise produces both isolated flips and bursts (a stuck sender line silences '1's\n")

@@ -30,25 +30,36 @@ func init() {
 func runPollution(ctx *Context) (*Result, error) {
 	res := &Result{}
 	rows := [][]string{}
-	for _, variant := range []struct {
+	variants := []struct {
 		name string
 		key  string
-		pol  policy.Policy
+		pol  func() policy.Policy
 	}{
-		{"stock Intel quad-age (NTA pollution ≤ 1 way)", "stock", policy.NewQuadAge()},
-		{"countermeasure (load=1, NTA=2)", "countermeasure", policy.NewQuadAgeCountermeasure()},
-	} {
+		{"stock Intel quad-age (NTA pollution ≤ 1 way)", "stock", func() policy.Policy { return policy.NewQuadAge() }},
+		{"countermeasure (load=1, NTA=2)", "countermeasure", func() policy.Policy { return policy.NewQuadAgeCountermeasure() }},
+	}
+	// The worker/streamer interleaving is sensitive to the frame shuffle,
+	// so each policy averages several independent machines; the variant ×
+	// trial grid shards across free workers.
+	const trialsPer = 3
+	type cellOut struct {
+		mean, hitRate float64
+	}
+	cells := make([]cellOut, len(variants)*trialsPer)
+	ctx.Parallel(len(cells), func(cell int) {
+		variant := variants[cell/trialsPer]
+		seed := ctx.SeedFor(variant.key, fmt.Sprint(cell%trialsPer))
 		// A scaled-down hierarchy keeps the run fast while preserving
 		// the level ratios that matter: the worker's hot set must
 		// overflow the private caches yet fit the LLC with ways to
 		// spare. The interaction is per-set, so this loses no
 		// generality.
 		p := ctx.Platforms[0]
-		p.LLCPolicy = variant.pol
+		p.LLCPolicy = variant.pol()
 		p.L2Sets = 64 // 16 KiB L2
 		p.LLCSlices = 1
 		p.LLCSetsPerSlice = 256 // 256 KiB LLC
-		m := sim.MustNewMachine(p, 1<<30, ctx.Seed)
+		m := sim.MustNewMachine(p, 1<<30, seed)
 
 		// The streamer NTA-walks a buffer much larger than the LLC in
 		// column-major order — the strided pattern of a non-temporal
@@ -77,7 +88,13 @@ func runPollution(ctx *Context) (*Result, error) {
 		m.Spawn("worker", 0, nil, func(c *sim.Core) {
 			hotBytes := uint64(10 * 256 * mem.LineSize)
 			buf := c.Alloc(hotBytes)
+			// Sample at least one full pass over the hot set: fewer
+			// samples can miss the streamer's bursts entirely and report
+			// a spuriously clean countermeasure run.
 			warm := ctx.Trials(6000)
+			if min := int(hotBytes / mem.LineSize); warm < min {
+				warm = min
+			}
 			for pass := 0; pass < 2; pass++ {
 				for off := uint64(0); off < hotBytes; off += mem.LineSize {
 					c.Load(buf + mem.VAddr(off))
@@ -99,12 +116,21 @@ func runPollution(ctx *Context) (*Result, error) {
 		})
 		m.Run()
 
-		mean := stats.Mean(lat)
+		cells[cell].mean = stats.Mean(lat)
 		hitRate := 0.0
 		for _, h := range hot {
 			hitRate += h
 		}
-		hitRate /= float64(len(hot))
+		cells[cell].hitRate = hitRate / float64(len(hot))
+	})
+	for vi, variant := range variants {
+		var mean, hitRate float64
+		for t := 0; t < trialsPer; t++ {
+			mean += cells[vi*trialsPer+t].mean
+			hitRate += cells[vi*trialsPer+t].hitRate
+		}
+		mean /= trialsPer
+		hitRate /= trialsPer
 		rows = append(rows, []string{
 			variant.name,
 			fmt.Sprintf("%.1f cycles", mean),

@@ -5,6 +5,7 @@ import (
 
 	"leakyway/internal/attack"
 	"leakyway/internal/core"
+	"leakyway/internal/hier"
 	"leakyway/internal/mem"
 	"leakyway/internal/sim"
 	"leakyway/internal/stats"
@@ -158,13 +159,20 @@ func runFig12(ctx *Context) (*Result, error) {
 		"kabylake": {1767, 1369, 1054},
 	}
 	variants := []attack.RefreshVariant{attack.ReloadRefresh, attack.PrefetchRefreshV1, attack.PrefetchRefreshV2}
-	for _, cfg := range ctx.Platforms {
-		ctx.Printf("\n%s\n", cfg.Name)
+	err := ctx.EachPlatform(func(sub *Context, cfg hier.Config) error {
+		sub.Printf("\n%s\n", cfg.Name)
+		// Each variant runs against its own machine, so the three attacks
+		// shard across free workers.
+		results := make([]attack.RefreshResult, len(variants))
+		sub.Parallel(len(variants), func(i int) {
+			results[i] = attack.RunRefresh(cfg, variants[i],
+				attack.RefreshConfig{Iterations: iters}, sub.SeedFor(variants[i].String()))
+		})
 		rows := [][]string{}
 		var means [3]float64
 		var all [][]int64
 		for i, v := range variants {
-			r := attack.RunRefresh(cfg, v, attack.RefreshConfig{Iterations: iters}, ctx.Seed)
+			r := results[i]
 			means[i] = stats.Mean(r.IterLatencies)
 			all = append(all, r.IterLatencies)
 			rows = append(rows, []string{
@@ -174,17 +182,18 @@ func runFig12(ctx *Context) (*Result, error) {
 				fmt.Sprintf("%.1f%%", 100*r.Accuracy),
 			})
 		}
-		renderTable(ctx, []string{"attack", "iteration mean (cyc)", "paper (cyc)", "detection accuracy"}, rows)
+		renderTable(sub, []string{"attack", "iteration mean (cyc)", "paper (cyc)", "detection accuracy"}, rows)
 		lo := stats.NewCDF(all[2]).Quantile(0.02)
 		hi := stats.NewCDF(all[0]).Quantile(0.999)
 		for i, v := range variants {
-			ctx.Printf("%s", stats.NewCDF(all[i]).Render("  CDF "+v.String(), lo, hi, 56))
+			sub.Printf("%s", stats.NewCDF(all[i]).Render("  CDF "+v.String(), lo, hi, 56))
 		}
 		res.Metric(shortName(cfg)+"/reload_refresh_mean", means[0])
 		res.Metric(shortName(cfg)+"/prefetch_refresh_v1_mean", means[1])
 		res.Metric(shortName(cfg)+"/prefetch_refresh_v2_mean", means[2])
-	}
-	return res, nil
+		return nil
+	})
+	return res, err
 }
 
 func runTable3(ctx *Context) (*Result, error) {

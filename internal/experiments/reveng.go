@@ -96,14 +96,17 @@ func init() {
 func runFig2(ctx *Context) (*Result, error) {
 	res := &Result{}
 	cfg := ctx.Platforms[0]
-	lab := newRevLab(cfg, ctx.Seed)
 	w := cfg.LLCWays
 	trials := ctx.Trials(1000)
 	means := make([]float64, w)
 	controls := make([]float64, w)
 
-	lab.m.Spawn("experimenter", 0, lab.as, func(c *sim.Core) {
-		for a := 0; a < w; a++ {
+	// The positions are independent measurements, so each gets its own
+	// lab (machine + eviction sets) on a position-derived seed and the w
+	// position loops shard across free workers.
+	ctx.Parallel(w, func(a int) {
+		lab := newRevLab(cfg, ctx.ShardSeed(a))
+		lab.m.Spawn("experimenter", 0, lab.as, func(c *sim.Core) {
 			var samples, control []int64
 			for trial := 0; trial < trials; trial++ {
 				// Prefetched case: la installed with PREFETCHNTA.
@@ -131,9 +134,9 @@ func runFig2(ctx *Context) (*Result, error) {
 			}
 			means[a] = stats.Mean(samples)
 			controls[a] = stats.Mean(control)
-		}
+		})
+		lab.m.Run()
 	})
-	lab.m.Run()
 
 	rows := [][]string{}
 	minPref := means[0]

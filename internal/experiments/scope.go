@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"leakyway/internal/attack"
+	"leakyway/internal/hier"
 	"leakyway/internal/stats"
 )
 
@@ -25,10 +26,17 @@ func init() {
 func runFig11(ctx *Context) (*Result, error) {
 	res := &Result{}
 	iters := ctx.Trials(2000)
-	for _, cfg := range ctx.Platforms {
-		ps := attack.RunScope(cfg, attack.PrimeScope, attack.ScopeConfig{Iterations: iters}, ctx.Seed)
-		pps := attack.RunScope(cfg, attack.PrimePrefetchScope, attack.ScopeConfig{Iterations: iters}, ctx.Seed)
-		ctx.Printf("\n%s\n", cfg.Name)
+	err := ctx.EachPlatform(func(sub *Context, cfg hier.Config) error {
+		var ps, pps attack.ScopeResult
+		sub.Parallel(2, func(i int) {
+			switch i {
+			case 0:
+				ps = attack.RunScope(cfg, attack.PrimeScope, attack.ScopeConfig{Iterations: iters}, sub.SeedFor("primescope"))
+			case 1:
+				pps = attack.RunScope(cfg, attack.PrimePrefetchScope, attack.ScopeConfig{Iterations: iters}, sub.SeedFor("prefetchscope"))
+			}
+		})
+		sub.Printf("\n%s\n", cfg.Name)
 		rows := [][]string{}
 		for _, r := range []attack.ScopeResult{ps, pps} {
 			s := stats.Summarize(r.PrepLatencies)
@@ -40,21 +48,22 @@ func runFig11(ctx *Context) (*Result, error) {
 				fmt.Sprintf("%d", s.P95),
 			})
 		}
-		renderTable(ctx, []string{"variant", "cache refs", "prep mean (cyc)", "p50", "p95"}, rows)
+		renderTable(sub, []string{"variant", "cache refs", "prep mean (cyc)", "p50", "p95"}, rows)
 
 		cdfPS := stats.NewCDF(ps.PrepLatencies)
 		cdfPPS := stats.NewCDF(pps.PrepLatencies)
 		lo, hi := cdfPPS.Quantile(0.02), cdfPS.Quantile(0.999)
-		ctx.Printf("%s", cdfPS.Render("  CDF Prime+Scope", lo, hi, 56))
-		ctx.Printf("%s", cdfPPS.Render("  CDF Prime+Prefetch+Scope", lo, hi, 56))
+		sub.Printf("%s", cdfPS.Render("  CDF Prime+Scope", lo, hi, 56))
+		sub.Printf("%s", cdfPPS.Render("  CDF Prime+Prefetch+Scope", lo, hi, 56))
 
 		mps, mpps := stats.Mean(ps.PrepLatencies), stats.Mean(pps.PrepLatencies)
-		ctx.Printf("speedup: %.2fx (paper: %.2fx)\n", mps/mpps, paperPrepRatio(cfg.Name))
+		sub.Printf("speedup: %.2fx (paper: %.2fx)\n", mps/mpps, paperPrepRatio(cfg.Name))
 		res.Metric(shortName(cfg)+"/primescope_prep_mean", mps)
 		res.Metric(shortName(cfg)+"/prefetchscope_prep_mean", mpps)
 		res.Metric(shortName(cfg)+"/prep_speedup", mps/mpps)
-	}
-	return res, nil
+		return nil
+	})
+	return res, err
 }
 
 func paperPrepRatio(name string) float64 {
@@ -72,8 +81,15 @@ func runFNRate(ctx *Context) (*Result, error) {
 	// 1.5K-cycle victim period the Kaby Lake clock leaves a much tighter
 	// real-time window, which degrades both variants.
 	cfg := ctx.Platforms[0]
-	for _, v := range []attack.ScopeVariant{attack.PrimeScope, attack.PrimePrefetchScope} {
-		r := attack.RunScope(cfg, v, attack.ScopeConfig{Iterations: iters, VictimPeriod: 1500}, ctx.Seed)
+	variants := []attack.ScopeVariant{attack.PrimeScope, attack.PrimePrefetchScope}
+	main := make([]attack.ScopeResult, len(variants))
+	ctx.Parallel(len(variants), func(i int) {
+		key := scopeKey(variants[i])
+		main[i] = attack.RunScope(cfg, variants[i],
+			attack.ScopeConfig{Iterations: iters, VictimPeriod: 1500}, ctx.SeedFor(key))
+	})
+	for i, v := range variants {
+		r := main[i]
 		rows = append(rows, []string{
 			cfg.Name,
 			v.String(),
@@ -81,11 +97,7 @@ func runFNRate(ctx *Context) (*Result, error) {
 			fmt.Sprintf("%d", len(r.Detections)),
 			fmt.Sprintf("%.1f%%", 100*r.FalseNegativeRate),
 		})
-		key := "primescope"
-		if v == attack.PrimePrefetchScope {
-			key = "prefetchscope"
-		}
-		res.Metric(shortName(cfg)+"/"+key+"_fn_rate", r.FalseNegativeRate)
+		res.Metric(shortName(cfg)+"/"+scopeKey(v)+"_fn_rate", r.FalseNegativeRate)
 	}
 	renderTable(ctx, []string{"platform", "variant", "victim events", "detections", "false negatives"}, rows)
 	ctx.Printf("paper: ≈50%% for Prime+Scope, <2%% for Prime+Prefetch+Scope; the direction and gap reproduce\n")
@@ -96,12 +108,20 @@ func runFNRate(ctx *Context) (*Result, error) {
 	// moves the knee to much faster victims.
 	ctx.Printf("\nfalse negatives vs victim access period:\n")
 	sweepIters := ctx.Trials(600)
+	periods := []int64{1000, 1500, 2500, 4000, 8000}
+	// Flatten the period × variant grid into independent cells; every
+	// cell owns its machine and seed, so the sweep shards freely.
+	env := make([]attack.ScopeResult, len(periods)*len(variants))
+	ctx.Parallel(len(env), func(i int) {
+		period := periods[i/len(variants)]
+		v := variants[i%len(variants)]
+		env[i] = attack.RunScope(cfg, v,
+			attack.ScopeConfig{Iterations: sweepIters, VictimPeriod: period},
+			ctx.SeedFor("envelope", fmt.Sprint(period), scopeKey(v)))
+	})
 	envRows := [][]string{}
-	for _, period := range []int64{1000, 1500, 2500, 4000, 8000} {
-		ps := attack.RunScope(cfg, attack.PrimeScope,
-			attack.ScopeConfig{Iterations: sweepIters, VictimPeriod: period}, ctx.Seed)
-		pps := attack.RunScope(cfg, attack.PrimePrefetchScope,
-			attack.ScopeConfig{Iterations: sweepIters, VictimPeriod: period}, ctx.Seed)
+	for pi, period := range periods {
+		ps, pps := env[pi*len(variants)], env[pi*len(variants)+1]
 		envRows = append(envRows, []string{
 			fmt.Sprintf("%d cycles", period),
 			fmt.Sprintf("%.1f%%", 100*ps.FalseNegativeRate),
@@ -112,4 +132,12 @@ func runFNRate(ctx *Context) (*Result, error) {
 	}
 	renderTable(ctx, []string{"victim period", "Prime+Scope FN", "Prime+Prefetch+Scope FN"}, envRows)
 	return res, nil
+}
+
+// scopeKey names a scope variant in metric and seed keys.
+func scopeKey(v attack.ScopeVariant) string {
+	if v == attack.PrimePrefetchScope {
+		return "prefetchscope"
+	}
+	return "primescope"
 }

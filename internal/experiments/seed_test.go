@@ -1,0 +1,112 @@
+package experiments
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestSplitSeedTable pins the algebraic properties the engine's
+// determinism rests on.
+func TestSplitSeedTable(t *testing.T) {
+	tests := []struct {
+		name string
+		a, b int64
+		want bool // a == b expected
+	}{
+		{
+			name: "same master and key agree",
+			a:    SplitSeed(42, "fig8"),
+			b:    SplitSeed(42, "fig8"),
+			want: true,
+		},
+		{
+			name: "distinct keys diverge",
+			a:    SplitSeed(42, "fig8"),
+			b:    SplitSeed(42, "fig13"),
+			want: false,
+		},
+		{
+			name: "distinct masters diverge",
+			a:    SplitSeed(42, "fig8"),
+			b:    SplitSeed(43, "fig8"),
+			want: false,
+		},
+		{
+			name: "child differs from master",
+			a:    SplitSeed(42, "fig8"),
+			b:    42,
+			want: false,
+		},
+		{
+			name: "multi-part folds left (chain property)",
+			a:    SplitSeed(42, "fig8", "platform/skylake"),
+			b:    SplitSeed(SplitSeed(42, "fig8"), "platform/skylake"),
+			want: true,
+		},
+		{
+			name: "part boundaries matter",
+			a:    SplitSeed(42, "fig8platform"),
+			b:    SplitSeed(42, "fig8", "platform"),
+			want: false,
+		},
+		{
+			name: "empty part still advances the state",
+			a:    SplitSeed(42, ""),
+			b:    42,
+			want: false,
+		},
+		{
+			name: "indexed shards diverge",
+			a:    splitSeedIndex(42, 0),
+			b:    splitSeedIndex(42, 1),
+			want: false,
+		},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := tc.a == tc.b; got != tc.want {
+				t.Errorf("a=%d b=%d: equal=%v, want %v", tc.a, tc.b, got, tc.want)
+			}
+		})
+	}
+}
+
+// TestSplitSeedNoRegistryCollisions derives every seed the engine will
+// actually hand out for a full run — per-experiment, per-platform under
+// each experiment, and a generous band of trial shards — and asserts they
+// are pairwise distinct. A collision would silently correlate two tasks'
+// randomness.
+func TestSplitSeedNoRegistryCollisions(t *testing.T) {
+	for _, master := range []int64{42, 0, -1, 1 << 40} {
+		seen := map[int64]string{}
+		record := func(seed int64, key string) {
+			if prev, dup := seen[seed]; dup {
+				t.Fatalf("master %d: %s and %s share seed %d", master, prev, key, seed)
+			}
+			seen[seed] = key
+		}
+		for _, e := range All() {
+			es := SplitSeed(master, e.ID)
+			record(es, e.ID)
+			for _, plat := range []string{"skylake", "kabylake"} {
+				record(SplitSeed(es, "platform/"+plat), e.ID+"/"+plat)
+			}
+			for i := 0; i < 64; i++ {
+				record(splitSeedIndex(es, i), fmt.Sprintf("%s/shard%d", e.ID, i))
+			}
+		}
+	}
+}
+
+// TestSplitSeedIndexBulkDistinct widens the shard check: 10k consecutive
+// shard seeds from one master must not collide.
+func TestSplitSeedIndexBulkDistinct(t *testing.T) {
+	seen := map[int64]int{}
+	for i := 0; i < 10000; i++ {
+		s := splitSeedIndex(42, i)
+		if j, dup := seen[s]; dup {
+			t.Fatalf("shards %d and %d collide on seed %d", j, i, s)
+		}
+		seen[s] = i
+	}
+}

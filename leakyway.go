@@ -353,3 +353,22 @@ func RunExperiment(ctx *ExperimentContext, id string) (*ExperimentResult, error)
 func RunAllExperiments(ctx *ExperimentContext) (map[string]*ExperimentResult, error) {
 	return experiments.RunAll(ctx)
 }
+
+// SplitSeed derives an independent child seed from a master seed and a key
+// path. Every parallel unit of work (experiment, platform, trial shard)
+// seeds its RNG this way, which is what makes results independent of
+// scheduling order and worker count.
+func SplitSeed(master int64, parts ...string) int64 {
+	return experiments.SplitSeed(master, parts...)
+}
+
+// ExperimentMetrics flattens results into experiment → metric → value.
+func ExperimentMetrics(results map[string]*ExperimentResult) map[string]map[string]float64 {
+	return experiments.MetricsMap(results)
+}
+
+// WriteExperimentMetricsJSON writes results as indented JSON with sorted,
+// stable keys — the machine-readable companion to the rendered report.
+func WriteExperimentMetricsJSON(w io.Writer, results map[string]*ExperimentResult) error {
+	return experiments.WriteMetricsJSON(w, results)
+}
