@@ -1,15 +1,24 @@
 # Build/verify entry points. `make verify` is the tier-1 gate: build,
-# tests, and the race detector over the whole module (the parallel
-# experiment engine must stay clean under -race).
+# vet, formatting, tests, the race detector over the whole module (the
+# parallel experiment engine must stay clean under -race), and a short
+# fuzz smoke over the ARQ frame decoders.
 
 GO ?= go
 
-.PHONY: all build test race verify bench bench-jobs clean
+.PHONY: all build vet fmt-check test race fuzz-smoke verify bench bench-jobs clean
 
 all: verify
 
 build:
 	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+# gofmt -l lists unformatted files; fail if it prints anything.
+fmt-check:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
 test:
 	$(GO) test ./...
@@ -17,7 +26,13 @@ test:
 race:
 	$(GO) test -race ./...
 
-verify: build test race
+# Short fuzz runs over the wire-format decoders (go test takes one -fuzz
+# pattern per invocation, hence one command per target).
+fuzz-smoke:
+	$(GO) test ./internal/channel -run '^$$' -fuzz FuzzFrameDecode -fuzztime 5s
+	$(GO) test ./internal/channel -run '^$$' -fuzz FuzzAckDecode -fuzztime 5s
+
+verify: build vet fmt-check test race fuzz-smoke
 
 # Full benchmark sweep (quick-mode trial counts).
 bench:

@@ -1,5 +1,7 @@
 // Command leakyway runs the paper-reproduction experiments: every table and
-// figure of "Leaky Way" (MICRO 2022), plus the ablations.
+// figure of "Leaky Way" (MICRO 2022), plus the ablations and the
+// robustness extensions (fault injection and the reliable ARQ transport —
+// see the "faults" experiment).
 //
 // Usage:
 //

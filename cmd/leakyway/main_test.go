@@ -70,3 +70,42 @@ func TestRunJSONExport(t *testing.T) {
 		}
 	}
 }
+
+// TestRunFaultsJSONExport checks the robustness extension end to end from
+// the CLI: the faults experiment must export per-scenario BER/goodput
+// metrics and report zero ARQ residual under every injected scenario.
+func TestRunFaultsJSONExport(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "metrics.json")
+	opt := options{platform: "both", seed: 42, quick: true, jobs: 2, jsonPath: path}
+	if err := run([]string{"faults"}, opt, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var metrics map[string]map[string]float64
+	if err := json.Unmarshal(raw, &metrics); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	got := metrics["faults"]
+	if len(got) == 0 {
+		t.Fatalf("no faults metrics exported; got %v", metrics)
+	}
+	for _, sc := range []string{"none", "preempt", "pollute", "drift", "spikes", "migrate", "all"} {
+		if got["faults_"+sc+"_arq_delivered"] != 1 {
+			t.Errorf("scenario %s: ARQ did not deliver", sc)
+		}
+		if v := got["faults_"+sc+"_arq_residual"]; v != 0 {
+			t.Errorf("scenario %s: ARQ residual %v, want 0", sc, v)
+		}
+		if sc != "none" {
+			if v := got["faults_"+sc+"_raw_ber"]; v <= 0.01 {
+				t.Errorf("scenario %s: raw BER %v, want > 1%%", sc, v)
+			}
+		}
+		if _, ok := got["faults_"+sc+"_arq_goodput_kbps"]; !ok {
+			t.Errorf("scenario %s: goodput metric missing", sc)
+		}
+	}
+}

@@ -1,0 +1,249 @@
+package channel
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ARQ frame wire format. A data frame is carried as one self-sync burst:
+//
+//	mode header (6 bits)  body (45 raw / 84 Hamming bits)
+//
+// The mode header is the 2-bit coding mode, each bit repeated ×3 and
+// majority-decoded — a fixed-rate PHY header, so the receiver can decode
+// the body length before the body arrives even while the parties shift
+// coding mid-stream. The body is
+//
+//	seq (4)  last (1)  payload (32)  crc8 (8)
+//
+// with the CRC-8/AUTOSAR checksum (poly 0x2F, init/xorout 0xFF) over the
+// 37 preceding bits. That polynomial has Hamming distance 4 out to 119
+// data bits, so any corruption of up to 3 body bits is detected with
+// certainty; in Hamming mode, any 2 channel flips are either corrected or
+// detected. ACK/NACK frames ride the reverse lane as an always-Hamming
+// 16-bit body: seq (4), ok (1), 3 zero pad bits, crc8 over the 8 preceding
+// bits.
+
+// Coding selects the frame body encoding.
+type Coding uint8
+
+const (
+	// CodingRaw sends body bits as-is: fastest, no correction.
+	CodingRaw Coding = 0
+	// CodingHamming sends the body Hamming(7,4)-encoded: one corrected
+	// flip per codeword at 7/4 the cost.
+	CodingHamming Coding = 1
+)
+
+func (c Coding) String() string {
+	switch c {
+	case CodingRaw:
+		return "raw"
+	case CodingHamming:
+		return "hamming"
+	}
+	return fmt.Sprintf("coding(%d)", uint8(c))
+}
+
+// Frame geometry.
+const (
+	FrameSeqBits     = 4
+	FramePayloadBits = 32
+	frameModeBits    = 6                                       // 2 mode bits ×3 repetition
+	frameBodyRawBits = FrameSeqBits + 1 + FramePayloadBits + 8 // seq+last+payload+crc
+	ackBodyRawBits   = FrameSeqBits + 1 + 3 + 8                // seq+ok+pad+crc
+
+	// SeqModulus is the sequence-number space.
+	SeqModulus = 1 << FrameSeqBits
+)
+
+// Frame is one ARQ data frame.
+type Frame struct {
+	Seq     uint8 // 0..SeqModulus-1
+	Last    bool  // final frame of the message
+	Payload []bool
+}
+
+// Frame decode errors. Fuzzers and the receiver distinguish "wire noise"
+// (ErrFrameCRC and friends — ask for a retransmit) from caller bugs.
+var (
+	ErrFrameLength = errors.New("channel: frame bit count does not match any coding mode")
+	ErrFrameMode   = errors.New("channel: reserved coding mode")
+	ErrFrameCRC    = errors.New("channel: frame CRC mismatch")
+)
+
+// crc8Bits computes CRC-8/AUTOSAR over a bit string, MSB-first.
+func crc8Bits(bits []bool) uint8 {
+	crc := uint8(0xFF)
+	for _, b := range bits {
+		fb := crc >> 7
+		if b {
+			fb ^= 1
+		}
+		crc <<= 1
+		if fb == 1 {
+			crc ^= 0x2F
+		}
+	}
+	return crc ^ 0xFF
+}
+
+func appendUint(bits []bool, v uint64, n int) []bool {
+	for i := n - 1; i >= 0; i-- {
+		bits = append(bits, v>>uint(i)&1 == 1)
+	}
+	return bits
+}
+
+func takeUint(bits []bool, n int) (uint64, []bool) {
+	var v uint64
+	for i := 0; i < n; i++ {
+		v <<= 1
+		if bits[i] {
+			v |= 1
+		}
+	}
+	return v, bits[n:]
+}
+
+// bodyBits returns the body length on the wire for a coding mode.
+func bodyBits(mode Coding, raw int) int {
+	if mode == CodingHamming {
+		padded := (raw + 3) / 4 * 4
+		return padded / 4 * 7
+	}
+	return raw
+}
+
+// FrameWireBits returns the total bits of a data-frame burst in the given
+// mode — what the burst receiver must collect.
+func FrameWireBits(mode Coding) int { return frameModeBits + bodyBits(mode, frameBodyRawBits) }
+
+// AckWireBits is the total bits of an ACK burst (always Hamming-coded).
+func AckWireBits() int { return bodyBits(CodingHamming, ackBodyRawBits) }
+
+// encodeBody applies the coding mode to raw body bits.
+func encodeBody(body []bool, mode Coding) []bool {
+	if mode == CodingHamming {
+		return EncodeHamming74(body)
+	}
+	return body
+}
+
+// decodeBody inverts encodeBody; the result is truncated to raw bits.
+func decodeBody(bits []bool, mode Coding, raw int) ([]bool, error) {
+	if mode == CodingHamming {
+		dec := DecodeHamming74(bits)
+		if len(dec) < raw {
+			return nil, ErrFrameLength
+		}
+		return dec[:raw], nil
+	}
+	if len(bits) != raw {
+		return nil, ErrFrameLength
+	}
+	return bits, nil
+}
+
+// EncodeFrame renders a data frame for the wire in the given coding mode.
+// Payloads shorter than FramePayloadBits are zero-padded; longer ones are
+// a caller bug.
+func EncodeFrame(f Frame, mode Coding) []bool {
+	if len(f.Payload) > FramePayloadBits {
+		panic(fmt.Sprintf("channel: frame payload %d bits exceeds %d", len(f.Payload), FramePayloadBits))
+	}
+	body := make([]bool, 0, frameBodyRawBits)
+	body = appendUint(body, uint64(f.Seq%SeqModulus), FrameSeqBits)
+	body = append(body, f.Last)
+	body = append(body, f.Payload...)
+	for len(body) < FrameSeqBits+1+FramePayloadBits {
+		body = append(body, false)
+	}
+	body = appendUint(body, uint64(crc8Bits(body)), 8)
+
+	out := make([]bool, 0, FrameWireBits(mode))
+	for _, mb := range []bool{mode&2 != 0, mode&1 != 0} {
+		out = append(out, mb, mb, mb)
+	}
+	return append(out, encodeBody(body, mode)...)
+}
+
+// DecodeFrameMode majority-decodes the 6-bit mode header.
+func DecodeFrameMode(header []bool) (Coding, error) {
+	if len(header) < frameModeBits {
+		return 0, ErrFrameLength
+	}
+	vote := func(a, b, c bool) bool {
+		n := 0
+		for _, v := range []bool{a, b, c} {
+			if v {
+				n++
+			}
+		}
+		return n >= 2
+	}
+	var mode Coding
+	if vote(header[0], header[1], header[2]) {
+		mode |= 2
+	}
+	if vote(header[3], header[4], header[5]) {
+		mode |= 1
+	}
+	if mode != CodingRaw && mode != CodingHamming {
+		return 0, ErrFrameMode
+	}
+	return mode, nil
+}
+
+// DecodeFrame parses a complete data-frame burst: mode header, coded body,
+// CRC. It never panics on hostile input; any truncation, reserved mode,
+// length mismatch, or checksum failure is an error.
+func DecodeFrame(bits []bool) (Frame, Coding, error) {
+	mode, err := DecodeFrameMode(bits)
+	if err != nil {
+		return Frame{}, 0, err
+	}
+	wire := bits[frameModeBits:]
+	if len(wire) != bodyBits(mode, frameBodyRawBits) {
+		return Frame{}, mode, ErrFrameLength
+	}
+	body, err := decodeBody(wire, mode, frameBodyRawBits)
+	if err != nil {
+		return Frame{}, mode, err
+	}
+	sum, _ := takeUint(body[frameBodyRawBits-8:], 8)
+	if uint8(sum) != crc8Bits(body[:frameBodyRawBits-8]) {
+		return Frame{}, mode, ErrFrameCRC
+	}
+	seq, rest := takeUint(body, FrameSeqBits)
+	f := Frame{Seq: uint8(seq), Last: rest[0]}
+	f.Payload = append([]bool(nil), rest[1:1+FramePayloadBits]...)
+	return f, mode, nil
+}
+
+// EncodeAck renders an ACK (ok) or NACK (!ok) burst for seq.
+func EncodeAck(seq uint8, ok bool) []bool {
+	body := make([]bool, 0, ackBodyRawBits)
+	body = appendUint(body, uint64(seq%SeqModulus), FrameSeqBits)
+	body = append(body, ok, false, false, false)
+	body = appendUint(body, uint64(crc8Bits(body)), 8)
+	return encodeBody(body, CodingHamming)
+}
+
+// DecodeAck parses an ACK/NACK burst. Like DecodeFrame it never panics;
+// corrupted bursts error out and count as a lost ACK.
+func DecodeAck(bits []bool) (seq uint8, ok bool, err error) {
+	if len(bits) != AckWireBits() {
+		return 0, false, ErrFrameLength
+	}
+	body, err := decodeBody(bits, CodingHamming, ackBodyRawBits)
+	if err != nil {
+		return 0, false, err
+	}
+	sum, _ := takeUint(body[ackBodyRawBits-8:], 8)
+	if uint8(sum) != crc8Bits(body[:ackBodyRawBits-8]) {
+		return 0, false, ErrFrameCRC
+	}
+	s, rest := takeUint(body, FrameSeqBits)
+	return uint8(s), rest[0], nil
+}

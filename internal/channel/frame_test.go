@@ -1,0 +1,86 @@
+package channel
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestFrameRoundTripBothModes(t *testing.T) {
+	payload := BytesToBits([]byte{0xDE, 0xAD, 0xBE, 0xEF})
+	for _, mode := range []Coding{CodingRaw, CodingHamming} {
+		f := Frame{Seq: 11, Last: true, Payload: payload}
+		enc := EncodeFrame(f, mode)
+		if len(enc) != FrameWireBits(mode) {
+			t.Fatalf("%v: wire bits = %d, want %d", mode, len(enc), FrameWireBits(mode))
+		}
+		dec, gotMode, err := DecodeFrame(enc)
+		if err != nil || gotMode != mode || dec.Seq != 11 || !dec.Last {
+			t.Fatalf("%v: round trip failed: %+v mode=%v err=%v", mode, dec, gotMode, err)
+		}
+		for i := range payload {
+			if dec.Payload[i] != payload[i] {
+				t.Fatalf("%v: payload bit %d flipped", mode, i)
+			}
+		}
+	}
+}
+
+func TestFrameHammingCorrectsSingleFlip(t *testing.T) {
+	f := Frame{Seq: 7, Payload: BytesToBits([]byte{0x5A, 0xC3, 0x00, 0xFF})}
+	enc := EncodeFrame(f, CodingHamming)
+	// Flip one body bit (past the mode header): the Hamming layer must
+	// absorb it and the CRC must still pass.
+	enc[20] = !enc[20]
+	dec, _, err := DecodeFrame(enc)
+	if err != nil {
+		t.Fatalf("single flip not corrected: %v", err)
+	}
+	if dec.Seq != 7 {
+		t.Fatalf("seq corrupted to %d", dec.Seq)
+	}
+}
+
+func TestFrameRawDetectsFlips(t *testing.T) {
+	f := Frame{Seq: 3, Payload: BytesToBits([]byte{1, 2, 3, 4})}
+	enc := EncodeFrame(f, CodingRaw)
+	for _, positions := range [][]int{{9}, {10, 30}, {8, 21, 40}} {
+		bad := append([]bool(nil), enc...)
+		for _, p := range positions {
+			bad[p] = !bad[p]
+		}
+		if _, _, err := DecodeFrame(bad); !errors.Is(err, ErrFrameCRC) {
+			t.Fatalf("flips at %v: err = %v, want CRC mismatch", positions, err)
+		}
+	}
+}
+
+func TestFrameRejectsReservedMode(t *testing.T) {
+	enc := EncodeFrame(Frame{Seq: 1}, CodingRaw)
+	// Force the mode header to the reserved pattern 11.
+	for i := 0; i < 6; i++ {
+		enc[i] = true
+	}
+	if _, _, err := DecodeFrame(enc); !errors.Is(err, ErrFrameMode) {
+		t.Fatalf("err = %v, want reserved-mode rejection", err)
+	}
+}
+
+func TestAckRoundTripAndNack(t *testing.T) {
+	for _, ok := range []bool{true, false} {
+		enc := EncodeAck(9, ok)
+		if len(enc) != AckWireBits() {
+			t.Fatalf("ack wire bits = %d, want %d", len(enc), AckWireBits())
+		}
+		seq, gotOK, err := DecodeAck(enc)
+		if err != nil || seq != 9 || gotOK != ok {
+			t.Fatalf("ack round trip: %d/%v/%v", seq, gotOK, err)
+		}
+	}
+}
+
+func TestCRC8KnownVector(t *testing.T) {
+	// CRC-8/AUTOSAR of "123456789" (as bits) is 0xDF.
+	if got := crc8Bits(BytesToBits([]byte("123456789"))); got != 0xDF {
+		t.Fatalf("crc8 check value = %#x, want 0xdf", got)
+	}
+}

@@ -60,6 +60,108 @@ func FuzzRepetitionMajority(f *testing.F) {
 	})
 }
 
+// FuzzFrameDecode hammers the ARQ data-frame decoder: arbitrary bit soup,
+// truncations, duplications and bounded bit flips must never panic, and a
+// corrupted frame must never be accepted with contents that differ from
+// the original (CRC-8/AUTOSAR guarantees detection of ≤3 raw-body flips;
+// in Hamming mode ≤2 channel flips are corrected or detected).
+func FuzzFrameDecode(f *testing.F) {
+	f.Add([]byte("covert"), uint8(0), uint8(0), uint16(3))
+	f.Add([]byte{0xFF, 0x00, 0xA5, 0x5A}, uint8(1), uint8(2), uint16(40))
+	f.Add([]byte{}, uint8(1), uint8(1), uint16(0))
+	f.Fuzz(func(t *testing.T, data []byte, modeSel, flips uint8, pos uint16) {
+		// 1. Arbitrary input: must not panic, any error is fine.
+		raw := BytesToBits(data)
+		if fr, _, err := DecodeFrame(raw); err == nil && len(fr.Payload) != FramePayloadBits {
+			t.Fatalf("accepted frame with %d payload bits", len(fr.Payload))
+		}
+		if _, _, err := DecodeAck(raw); err == nil && len(raw) != AckWireBits() {
+			t.Fatal("DecodeAck accepted wrong-length input")
+		}
+
+		// 2. A valid frame survives the round trip.
+		mode := Coding(modeSel % 2)
+		payload := BytesToBits(data)
+		if len(payload) > FramePayloadBits {
+			payload = payload[:FramePayloadBits]
+		}
+		orig := Frame{Seq: uint8(len(data) % SeqModulus), Last: modeSel&2 != 0, Payload: payload}
+		enc := EncodeFrame(orig, mode)
+		dec, gotMode, err := DecodeFrame(enc)
+		if err != nil || gotMode != mode {
+			t.Fatalf("clean frame rejected: %v (mode %v vs %v)", err, gotMode, mode)
+		}
+		checkSame := func(dec Frame) {
+			t.Helper()
+			if dec.Seq != orig.Seq || dec.Last != orig.Last {
+				t.Fatalf("header corrupted: got %d/%v want %d/%v", dec.Seq, dec.Last, orig.Seq, orig.Last)
+			}
+			for i := range orig.Payload {
+				if dec.Payload[i] != orig.Payload[i] {
+					t.Fatalf("payload bit %d corrupted", i)
+				}
+			}
+			for i := len(orig.Payload); i < FramePayloadBits; i++ {
+				if dec.Payload[i] {
+					t.Fatalf("padding bit %d non-zero", i)
+				}
+			}
+		}
+		checkSame(dec)
+
+		// 3. Truncation and duplication must be rejected.
+		if cut := int(pos) % len(enc); cut != 0 {
+			if _, _, err := DecodeFrame(enc[:cut]); err == nil && cut != len(enc) {
+				t.Fatalf("accepted truncated frame of %d/%d bits", cut, len(enc))
+			}
+		}
+		if _, _, err := DecodeFrame(append(append([]bool(nil), enc...), enc...)); err == nil {
+			t.Fatal("accepted duplicated frame")
+		}
+
+		// 4. Up to 2 bit flips: either detected, corrected, or — never —
+		// accepted with different contents.
+		flipped := append([]bool(nil), enc...)
+		n := int(flips % 3)
+		for i := 0; i < n; i++ {
+			p := (int(pos) + i*7919) % len(flipped)
+			flipped[p] = !flipped[p]
+		}
+		if dec, _, err := DecodeFrame(flipped); err == nil {
+			checkSame(dec) // accepting is fine only if the content survived
+		}
+	})
+}
+
+// FuzzAckDecode is the same contract for the reverse-lane ACK decoder.
+func FuzzAckDecode(f *testing.F) {
+	f.Add(uint8(3), true, uint16(5), uint8(1))
+	f.Add(uint8(15), false, uint16(0), uint8(2))
+	f.Fuzz(func(t *testing.T, seq uint8, ok bool, pos uint16, flips uint8) {
+		enc := EncodeAck(seq, ok)
+		gotSeq, gotOK, err := DecodeAck(enc)
+		if err != nil || gotSeq != seq%SeqModulus || gotOK != ok {
+			t.Fatalf("clean ack rejected: %d/%v/%v", gotSeq, gotOK, err)
+		}
+		if cut := int(pos) % len(enc); cut != len(enc) {
+			if _, _, err := DecodeAck(enc[:cut]); err == nil {
+				t.Fatalf("accepted truncated ack of %d/%d bits", cut, len(enc))
+			}
+		}
+		flipped := append([]bool(nil), enc...)
+		n := int(flips % 3)
+		for i := 0; i < n; i++ {
+			p := (int(pos) + i*5471) % len(flipped)
+			flipped[p] = !flipped[p]
+		}
+		if s, o, err := DecodeAck(flipped); err == nil {
+			if s != seq%SeqModulus || o != ok {
+				t.Fatalf("corrupted ack accepted with wrong contents: %d/%v", s, o)
+			}
+		}
+	})
+}
+
 func FuzzMedianGap(f *testing.F) {
 	f.Add([]byte{1, 2, 3, 4})
 	f.Fuzz(func(t *testing.T, deltas []byte) {

@@ -13,6 +13,7 @@ import (
 // (two sets); extra lanes trade per-iteration work for aggregate bandwidth
 // until the receiver's probing saturates the interval.
 func RunNTPNTPLanes(m *sim.Machine, cfg Config, lanes int, msg []bool) (Report, []bool) {
+	mustValidRun(cfg, false, msg)
 	if lanes <= 0 {
 		lanes = 1
 	}

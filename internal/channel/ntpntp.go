@@ -15,6 +15,7 @@ import (
 //
 // Cores: sender on 0, receiver on 1, noise (if any) on 2.
 func RunNTPNTP(m *sim.Machine, cfg Config, msg []bool) (Report, []bool) {
+	mustValidRun(cfg, false, msg)
 	sets := cfg.Sets
 	if sets <= 0 {
 		sets = 1
@@ -23,6 +24,16 @@ func RunNTPNTP(m *sim.Machine, cfg Config, msg []bool) (Report, []bool) {
 	if err != nil {
 		panic(err)
 	}
+	return RunNTPNTPOn(m, cfg, ep, msg)
+}
+
+// RunNTPNTPOn is RunNTPNTP over pre-staged endpoints: callers that need to
+// interpose between setup and transmission (fault injection, custom noise)
+// stage the endpoints themselves and hand them in. The set count is taken
+// from the endpoints.
+func RunNTPNTPOn(m *sim.Machine, cfg Config, ep *Endpoints, msg []bool) (Report, []bool) {
+	mustValidRun(cfg, false, msg)
+	sets := len(ep.DS)
 	interval := cfg.Interval
 	n := len(msg)
 	received := make([]bool, n)

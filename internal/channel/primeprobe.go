@@ -11,6 +11,7 @@ import (
 // eviction set and re-primes with additional walks. Two sets carry two bits
 // per iteration, as in the paper's comparison setup.
 func RunPrimeProbe(m *sim.Machine, cfg Config, msg []bool) (Report, []bool) {
+	mustValidRun(cfg, false, msg)
 	const sets = 2
 	ways := m.H.Config().LLCWays
 	ep, err := Setup(m, sets, ways)

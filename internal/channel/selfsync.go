@@ -38,6 +38,7 @@ const (
 // time — the receiver never reads it. The receiver must be listening before
 // the sender's first frame.
 func RunNTPNTPSelfSync(m *sim.Machine, cfg Config, msg []bool) (Report, []bool) {
+	mustValidRun(cfg, true, msg)
 	ep, err := Setup(m, 1, 0)
 	if err != nil {
 		panic(err)

@@ -1,6 +1,7 @@
 package channel
 
 import (
+	"fmt"
 	"math/rand"
 
 	"leakyway/internal/hier"
@@ -47,6 +48,12 @@ func Sweep(platform hier.Config, run Runner, base Config, intervals []int64, bit
 // sweep is embarrassingly parallel and its result is identical to the
 // serial Sweep's for any schedule.
 func SweepPar(platform hier.Config, run Runner, base Config, intervals []int64, bits int, seed int64, pf ParallelFor) SweepResult {
+	if bits <= 0 {
+		panic(fmt.Errorf("channel: sweep bit count must be positive, got %d", bits))
+	}
+	if len(intervals) == 0 {
+		panic(fmt.Errorf("channel: sweep needs at least one interval"))
+	}
 	msg := RandomMessage(bits, seed)
 	points := make([]Report, len(intervals))
 	body := func(i int) {

@@ -1,0 +1,68 @@
+package channel
+
+import "fmt"
+
+// MinSelfSyncInterval is the smallest slot length the self-synchronizing
+// receiver accepts: the post-miss re-prime (a full filler walk plus the
+// reinstating PREFETCHNTA) must finish inside a slot, which on the default
+// calibration needs ~2200 cycles.
+const MinSelfSyncInterval = MinTransportInterval
+
+// Validate rejects configurations no channel can run: a non-positive
+// interval, offsets outside the iteration window, or negative noise and
+// overhead parameters. Run entry points call it before spawning agents, so
+// misuse fails with a descriptive error instead of a hung or garbage run.
+func (cfg Config) Validate() error {
+	if cfg.Interval <= 0 {
+		return fmt.Errorf("channel: interval must be positive, got %d", cfg.Interval)
+	}
+	if cfg.SenderOffset < 0 || cfg.SenderOffset >= cfg.Interval {
+		return fmt.Errorf("channel: sender offset %d outside iteration window [0, %d)",
+			cfg.SenderOffset, cfg.Interval)
+	}
+	if cfg.ReceiverOffset < 0 || cfg.ReceiverOffset >= cfg.Interval {
+		return fmt.Errorf("channel: receiver offset %d outside iteration window [0, %d)",
+			cfg.ReceiverOffset, cfg.Interval)
+	}
+	if cfg.ProtocolOverhead < 0 {
+		return fmt.Errorf("channel: protocol overhead must be non-negative, got %d", cfg.ProtocolOverhead)
+	}
+	if cfg.NoisePeriod < 0 {
+		return fmt.Errorf("channel: noise period must be non-negative, got %d", cfg.NoisePeriod)
+	}
+	if cfg.Start < 0 {
+		return fmt.Errorf("channel: start epoch must be non-negative, got %d", cfg.Start)
+	}
+	return nil
+}
+
+// ValidateSelfSync additionally enforces the self-sync slot-length floor:
+// below MinSelfSyncInterval the receiver's re-prime no longer fits inside
+// a slot and the channel wedges rather than degrades.
+func (cfg Config) ValidateSelfSync() error {
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
+	if cfg.Interval < MinSelfSyncInterval {
+		return fmt.Errorf("channel: self-sync interval %d is below the calibrated re-prime minimum %d",
+			cfg.Interval, MinSelfSyncInterval)
+	}
+	return nil
+}
+
+// mustValidRun guards the Run* entry points, whose signatures predate
+// error returns: validation failures panic with the descriptive error.
+func mustValidRun(cfg Config, selfSync bool, msg []bool) {
+	var err error
+	if selfSync {
+		err = cfg.ValidateSelfSync()
+	} else {
+		err = cfg.Validate()
+	}
+	if err != nil {
+		panic(err)
+	}
+	if len(msg) == 0 {
+		panic(fmt.Errorf("channel: message must be non-empty"))
+	}
+}

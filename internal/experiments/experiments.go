@@ -151,7 +151,7 @@ var paperOrder = []string{
 	"fig6", "fig7", "fig8", "table2",
 	"fig11", "fnrate", "fig9", "fig10", "fig12", "table3",
 	"fig13", "counter", "evset-algos",
-	"classic", "defense", "noninclusive", "selfsync", "pollution", "noise", "resolution", "stealth",
+	"classic", "defense", "noninclusive", "selfsync", "pollution", "noise", "faults", "resolution", "stealth",
 	"ablate-sets", "ablate-lanes", "ablate-hwpf", "ablate-policy",
 }
 

@@ -1,0 +1,197 @@
+package experiments
+
+import (
+	"fmt"
+
+	"leakyway/internal/channel"
+	"leakyway/internal/fault"
+	"leakyway/internal/sim"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "faults",
+		Title: "Extension — fault injection: raw vs Hamming vs ARQ transport",
+		Paper: "Section IV-B3 lists preemption, noise and timing degradation as reliability threats; the ARQ transport must deliver through all of them",
+		Run:   runFaults,
+	})
+}
+
+// faultScenarios builds the injection menu. Strengths are proportional to
+// the run horizon, so raw transmissions of different lengths see a
+// comparable fault density.
+func faultScenarios() []struct {
+	key      string
+	scenario func() fault.Scenario
+} {
+	return []struct {
+		key      string
+		scenario func() fault.Scenario
+	}{
+		{"none", func() fault.Scenario { return nil }},
+		{"preempt", func() fault.Scenario {
+			return fault.Preemption{Count: 6, MinDur: 20_000, MaxDur: 60_000}
+		}},
+		{"pollute", func() fault.Scenario {
+			return fault.Pollution{Bursts: 8, Walks: 4, Gap: 60}
+		}},
+		{"drift", func() fault.Scenario {
+			// A slow receiver clock: strong enough that the slot grids
+			// slide a full slot apart within even a quick-mode raw
+			// transmission (~340k cycles).
+			return fault.ClockDrift{PPM: -8000}
+		}},
+		{"spikes", func() fault.Scenario {
+			return fault.TimerSpikes{Count: 6, Dur: 60_000, Extra: 400}
+		}},
+		{"migrate", func() fault.Scenario {
+			return fault.Migration{Cost: 60_000}
+		}},
+		{"all", func() fault.Scenario {
+			return fault.Compose(
+				fault.Preemption{Count: 3, MinDur: 15_000, MaxDur: 40_000},
+				fault.Pollution{Bursts: 4, Walks: 3, Gap: 60},
+				fault.ClockDrift{PPM: 800},
+				fault.TimerSpikes{Count: 3, Dur: 40_000, Extra: 400},
+			)
+		}},
+	}
+}
+
+func runFaults(ctx *Context) (*Result, error) {
+	res := &Result{}
+	cfg := ctx.Platforms[0]
+	rawBits := ctx.Trials(1200)
+	const arqBits = 128
+
+	base := channel.DefaultConfig(cfg.Name, cfg.FreqGHz)
+	base.Interval = 2000
+	base.NoisePeriod = 0 // the fault framework injects the interference
+
+	tcfg := channel.DefaultTransportConfig(cfg.Name, cfg.FreqGHz)
+	tcfg.Channel.NoisePeriod = 0
+
+	scenarios := faultScenarios()
+	type out struct {
+		raw      channel.Report
+		residual float64
+		arq      channel.TransportReport
+		fired    int
+	}
+	outs := make([]out, len(scenarios))
+
+	// inject stages a scenario against a machine whose channel agents are
+	// about to be spawned; the target sets' noise pools double as the
+	// pollution working set.
+	inject := func(m *sim.Machine, sc fault.Scenario, seedv, horizon int64, pollAS fault.Target, log *fault.Log) {
+		if sc == nil {
+			return
+		}
+		tgt := pollAS
+		tgt.Sender, tgt.Receiver = "sender", "receiver"
+		tgt.SpareCore = 3
+		tgt.Horizon = horizon
+		log.Attach(m)
+		sc.Inject(m, tgt, seedv, log)
+	}
+
+	// Every scenario cell runs its three variants on private machines with
+	// a scenario-derived seed, so cells shard across free workers and the
+	// result is schedule-independent.
+	ctx.Parallel(len(scenarios), func(si int) {
+		sc := scenarios[si]
+		seedv := ctx.SeedFor("faults", sc.key)
+		msg := channel.RandomMessage(rawBits, seedv)
+		log := &fault.Log{}
+
+		// Raw channel under the scenario.
+		{
+			m := sim.MustNewMachine(cfg, 1<<30, seedv)
+			ep, err := channel.Setup(m, 2, 0)
+			if err != nil {
+				panic(err)
+			}
+			horizon := base.Start + int64(rawBits)*base.Interval
+			inject(m, sc.scenario(), seedv, horizon,
+				fault.Target{PolluteAS: ep.NoiseAS, Pollute: ep.NoiseLines}, log)
+			outs[si].raw, _ = channel.RunNTPNTPOn(m, base, ep, msg)
+			outs[si].fired = len(log.Fired())
+		}
+
+		// Interleaved Hamming(7,4) over the same raw channel.
+		{
+			const depth = 56
+			enc := channel.Interleave(channel.EncodeHamming74(msg), depth)
+			m := sim.MustNewMachine(cfg, 1<<30, seedv)
+			ep, err := channel.Setup(m, 2, 0)
+			if err != nil {
+				panic(err)
+			}
+			horizon := base.Start + int64(len(enc))*base.Interval
+			inject(m, sc.scenario(), seedv, horizon,
+				fault.Target{PolluteAS: ep.NoiseAS, Pollute: ep.NoiseLines}, &fault.Log{})
+			_, encBits := channel.RunNTPNTPOn(m, base, ep, enc)
+			dec := channel.DecodeHamming74(channel.Deinterleave(encBits, depth))
+			decErr := 0
+			for i := range msg {
+				if i >= len(dec) || dec[i] != msg[i] {
+					decErr++
+				}
+			}
+			outs[si].residual = float64(decErr) / float64(len(msg))
+		}
+
+		// ARQ transport under the same scenario.
+		{
+			payload := channel.RandomMessage(arqBits, seedv+1)
+			m := sim.MustNewMachine(cfg, 1<<30, seedv)
+			dx, err := channel.SetupDuplex(m)
+			if err != nil {
+				panic(err)
+			}
+			frames := (arqBits + channel.FramePayloadBits - 1) / channel.FramePayloadBits
+			horizon := tcfg.Channel.Start + int64(frames)*170*tcfg.Channel.Interval
+			inject(m, sc.scenario(), seedv, horizon,
+				fault.Target{PolluteAS: dx.NoiseAS, Pollute: dx.NoiseLines}, &fault.Log{})
+			rep, _, err := channel.RunARQOn(m, tcfg, dx, payload)
+			if err != nil {
+				panic(err)
+			}
+			outs[si].arq = rep
+		}
+	})
+
+	rows := [][]string{}
+	for si, sc := range scenarios {
+		o := outs[si]
+		arqCell := fmt.Sprintf("0 errors, %d retx, %.2f KB/s", o.arq.Retransmits, o.arq.GoodputKBps)
+		if !o.arq.Delivered || o.arq.ResidualErrors > 0 {
+			arqCell = fmt.Sprintf("FAILED (%d residual)", o.arq.ResidualErrors)
+		}
+		rows = append(rows, []string{
+			sc.key,
+			fmt.Sprintf("%d", o.fired),
+			fmt.Sprintf("%.2f%%", 100*o.raw.BER),
+			fmt.Sprintf("%.2f%%", 100*o.residual),
+			arqCell,
+		})
+		key := "faults_" + sc.key
+		res.Metric(key+"_raw_ber", o.raw.BER)
+		res.Metric(key+"_hamming_residual", o.residual)
+		res.Metric(key+"_arq_residual", float64(o.arq.ResidualErrors)/float64(o.arq.PayloadBits))
+		res.Metric(key+"_arq_delivered", b2f(o.arq.Delivered))
+		res.Metric(key+"_arq_goodput_kbps", o.arq.GoodputKBps)
+	}
+	renderTable(ctx, []string{"fault scenario", "fired", "raw BER", "interleaved Hamming residual", "ARQ transport"}, rows)
+	ctx.Printf("every injected fault corrupts the raw channel; forward error correction absorbs\n")
+	ctx.Printf("some of it, but only the ARQ transport (CRC-8 frames, retransmission, adaptive\n")
+	ctx.Printf("recalibration) delivers a byte-exact message under all of them\n")
+	return res, nil
+}
+
+func b2f(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}

@@ -1,55 +1,23 @@
 package experiments
 
-import "strconv"
+import "leakyway/internal/seed"
 
 // Seed sharding. The engine never hands two tasks the same RNG stream:
 // every task (experiment, platform, trial shard) gets a seed derived from
 // the master seed and the task's key, so results depend only on (master
 // seed, key) — never on scheduling order, job count, or which goroutine
 // happened to pick the task up. That is what makes `run all -jobs 8`
-// byte-identical to `-jobs 1`.
+// byte-identical to `-jobs 1`. The derivation itself lives in
+// internal/seed so lower layers (e.g. the fault injectors) share it.
 
-// SplitSeed derives a child seed from a master seed and a task key.
-//
-// Each key part is absorbed with FNV-1a and the state is then passed
-// through the SplitMix64 finalizer, so the derivation folds left:
-//
-//	SplitSeed(m, "a", "b") == SplitSeed(SplitSeed(m, "a"), "b")
-//
-// which lets a task derive sub-task seeds without knowing its own full
-// path. Distinct keys yield (with overwhelming probability) distinct,
-// decorrelated streams; the same key always yields the same stream.
+// SplitSeed derives a child seed from a master seed and a task key; see
+// seed.Split for the algebra.
 func SplitSeed(master int64, parts ...string) int64 {
-	s := uint64(master)
-	for _, p := range parts {
-		s ^= fnv1a64(p)
-		s = mix64(s)
-	}
-	return int64(s)
+	return seed.Split(master, parts...)
 }
 
 // splitSeedIndex derives the seed for numbered shard i — the common case
 // when fanning trials out across goroutines.
 func splitSeedIndex(master int64, i int) int64 {
-	return SplitSeed(master, "shard/"+strconv.Itoa(i))
-}
-
-// mix64 is the SplitMix64 output function (Steele, Lea & Flood,
-// "Fast Splittable Pseudorandom Number Generators", OOPSLA 2014): a
-// bijective avalanche over 64 bits, so no two states collide.
-func mix64(z uint64) uint64 {
-	z += 0x9e3779b97f4a7c15
-	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
-	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
-	return z ^ (z >> 31)
-}
-
-// fnv1a64 hashes a key part (FNV-1a, 64-bit).
-func fnv1a64(s string) uint64 {
-	h := uint64(0xcbf29ce484222325)
-	for i := 0; i < len(s); i++ {
-		h ^= uint64(s[i])
-		h *= 0x100000001b3
-	}
-	return h
+	return seed.Index(master, i)
 }

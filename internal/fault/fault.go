@@ -1,0 +1,189 @@
+// Package fault is a composable fault-injection framework for sim.Machine.
+// A Scenario models one hostile condition a deployed covert channel faces —
+// OS preemption of the receiver, bursty LLC pollution of the target sets,
+// TSC drift between the parties, timer-jitter spikes, core migration — and
+// schedules the corresponding disturbances on a machine before it runs.
+//
+// Scenarios compose (Compose) and are fully seed-deterministic: every
+// stochastic choice derives from seed.Split over the scenario's name, so a
+// composite injects exactly the same disturbances regardless of the order
+// its parts were listed in. Each scenario records what it scheduled — and
+// the simulator reports back what actually fired — in a Log, so tests can
+// assert injection counts for a fixed seed.
+package fault
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+
+	"leakyway/internal/mem"
+	"leakyway/internal/seed"
+	"leakyway/internal/sim"
+)
+
+// Agent roles a scenario can target.
+const (
+	RoleSender   = "sender"
+	RoleReceiver = "receiver"
+)
+
+// Target names the parties and resources scenarios may disturb. The
+// channel runners spawn their agents under the conventional names
+// ("sender", "receiver"), so faults staged before the run attach when the
+// agents appear.
+type Target struct {
+	// Sender and Receiver are the agent names of the two parties.
+	Sender, Receiver string
+	// SpareCore is a core free for pollution walkers and as the
+	// destination of migrations (the channel convention leaves core 3
+	// free: sender 0, receiver 1, noise 2).
+	SpareCore int
+	// PolluteAS and Pollute are an address space plus lines congruent
+	// with the channel's target sets — what a hostile co-tenant would
+	// thrash. channel.Endpoints' noise pool serves directly.
+	PolluteAS *mem.AddressSpace
+	Pollute   []mem.VAddr
+	// Horizon is the expected cycle length of the transmission; random
+	// injection points are drawn from it.
+	Horizon int64
+}
+
+// agent resolves a role to the target's agent name.
+func (t Target) agent(role string) string {
+	if role == RoleSender {
+		return t.Sender
+	}
+	return t.Receiver
+}
+
+// Scenario is one composable hostile condition.
+type Scenario interface {
+	// Name identifies the scenario; it keys the seed derivation, so two
+	// scenarios composed together must have distinct names.
+	Name() string
+	// Inject schedules the scenario's disturbances on m against tgt.
+	// All randomness derives from seedv; scheduled events are recorded
+	// in log.
+	Inject(m *sim.Machine, tgt Target, seedv int64, log *Log)
+}
+
+// Event is one injection, scheduled or fired.
+type Event struct {
+	Scenario string
+	Agent    string
+	Kind     string
+	At       int64
+	Detail   int64
+}
+
+func (e Event) String() string {
+	return fmt.Sprintf("%s: %s on %s @%d (%d)", e.Scenario, e.Kind, e.Agent, e.At, e.Detail)
+}
+
+// Log collects scheduled and fired injection events. The simulator runs
+// agents one at a time, so no locking is needed.
+type Log struct {
+	scheduled []Event
+	fired     []Event
+}
+
+// Attach routes the machine's fault notifications into the log. Call it
+// once per machine, before Run.
+func (l *Log) Attach(m *sim.Machine) {
+	m.FaultNotify = func(agent, kind string, at, detail int64) {
+		l.fired = append(l.fired, Event{Agent: agent, Kind: kind, At: at, Detail: detail})
+	}
+}
+
+func (l *Log) schedule(e Event) { l.scheduled = append(l.scheduled, e) }
+func (l *Log) fire(e Event)     { l.fired = append(l.fired, e) }
+
+// Scheduled returns the scheduled events, sorted by (At, Scenario, Kind)
+// so the view is independent of composition order.
+func (l *Log) Scheduled() []Event { return sortedEvents(l.scheduled) }
+
+// Fired returns the events the simulator reported firing, in firing order.
+func (l *Log) Fired() []Event { return append([]Event(nil), l.fired...) }
+
+// CountScheduled counts scheduled events of the given kind ("" for all).
+func (l *Log) CountScheduled(kind string) int { return countKind(l.scheduled, kind) }
+
+// CountFired counts fired events of the given kind ("" for all).
+func (l *Log) CountFired(kind string) int { return countKind(l.fired, kind) }
+
+func countKind(evs []Event, kind string) int {
+	n := 0
+	for _, e := range evs {
+		if kind == "" || e.Kind == kind {
+			n++
+		}
+	}
+	return n
+}
+
+func sortedEvents(evs []Event) []Event {
+	out := append([]Event(nil), evs...)
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.At != b.At {
+			return a.At < b.At
+		}
+		if a.Scenario != b.Scenario {
+			return a.Scenario < b.Scenario
+		}
+		return a.Kind < b.Kind
+	})
+	return out
+}
+
+// Compose combines scenarios into one. Parts are injected in canonical
+// (name) order with seeds derived per part name, so composing A+B and B+A
+// schedules identical disturbances. Duplicate names are rejected: they
+// would silently share one random stream.
+func Compose(parts ...Scenario) Scenario {
+	byName := map[string]bool{}
+	for _, p := range parts {
+		if byName[p.Name()] {
+			panic(fmt.Sprintf("fault: Compose: duplicate scenario name %q", p.Name()))
+		}
+		byName[p.Name()] = true
+	}
+	return composite{parts: parts}
+}
+
+type composite struct{ parts []Scenario }
+
+func (c composite) Name() string {
+	names := make([]string, len(c.parts))
+	for i, p := range c.parts {
+		names[i] = p.Name()
+	}
+	sort.Strings(names)
+	return strings.Join(names, "+")
+}
+
+func (c composite) Inject(m *sim.Machine, tgt Target, seedv int64, log *Log) {
+	ordered := append([]Scenario(nil), c.parts...)
+	sort.Slice(ordered, func(i, j int) bool { return ordered[i].Name() < ordered[j].Name() })
+	for _, p := range ordered {
+		p.Inject(m, tgt, seed.Split(seedv, p.Name()), log)
+	}
+}
+
+// points draws n injection cycles from the middle of the horizon (first
+// tenth excluded so calibration and priming are undisturbed), sorted.
+func points(rng *rand.Rand, n int, horizon int64) []int64 {
+	lo := horizon / 10
+	span := horizon - lo
+	if span <= 0 {
+		span = 1
+	}
+	out := make([]int64, n)
+	for i := range out {
+		out[i] = lo + rng.Int63n(span)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

@@ -1,0 +1,169 @@
+package fault
+
+import (
+	"reflect"
+	"testing"
+
+	"leakyway/internal/hier"
+	"leakyway/internal/mem"
+	"leakyway/internal/sim"
+)
+
+func testConfig() hier.Config {
+	return hier.Config{
+		Name: "fault-test", Cores: 4, FreqGHz: 1,
+		L1Sets: 8, L1Ways: 4,
+		L2Sets: 16, L2Ways: 4,
+		LLCSlices: 1, LLCSetsPerSlice: 32, LLCWays: 8,
+		Lat: hier.DefaultLatency(),
+	}
+}
+
+const testHorizon = 400_000
+
+// harness builds a machine with a sender/receiver pair that spin and
+// measure until the horizon, so every kind of disturbance has scheduling
+// and measurement points to land on. It returns the receiver's timing
+// trace (a behavioural fingerprint of the run).
+func harness(t *testing.T, seedv int64, inject func(m *sim.Machine, tgt Target, log *Log)) []int64 {
+	t.Helper()
+	m := sim.MustNewMachine(testConfig(), 1<<24, seedv)
+	pollAS := m.NewSpace()
+	base, err := pollAS.Alloc(16 * mem.PageSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pollute []mem.VAddr
+	for i := 0; i < 16; i++ {
+		pollute = append(pollute, base+mem.VAddr(i*mem.PageSize))
+	}
+	tgt := Target{
+		Sender: "sender", Receiver: "receiver",
+		SpareCore: 3,
+		PolluteAS: pollAS, Pollute: pollute,
+		Horizon: testHorizon,
+	}
+	log := &Log{}
+	log.Attach(m)
+	inject(m, tgt, log)
+
+	var trace []int64
+	m.Spawn("sender", 0, nil, func(c *sim.Core) {
+		buf := c.Alloc(mem.PageSize)
+		for c.Now() < testHorizon {
+			c.Load(buf)
+			c.Spin(150)
+		}
+	})
+	m.Spawn("receiver", 1, nil, func(c *sim.Core) {
+		buf := c.Alloc(mem.PageSize)
+		c.Load(buf)
+		for c.Now() < testHorizon {
+			trace = append(trace, c.TimedLoad(buf))
+			c.Spin(40)
+		}
+	})
+	m.Run()
+	return trace
+}
+
+// TestInjectorCountsFixedSeed asserts each injector fires exactly the
+// number of times it logged as scheduled, for a fixed seed.
+func TestInjectorCountsFixedSeed(t *testing.T) {
+	cases := []struct {
+		scenario Scenario
+		kind     string
+		want     int
+	}{
+		{Preemption{Count: 5, MinDur: 2_000, MaxDur: 10_000}, sim.FaultPreempt, 5},
+		{TimerSpikes{Count: 3, Dur: 30_000, Extra: 400}, sim.FaultTimerSpike, 3},
+		{Migration{Cost: 3_000}, sim.FaultMigrate, 1},
+		{Pollution{Bursts: 4, Walks: 2, Gap: 50}, "pollute-burst", 4},
+		{ClockDrift{PPM: 800}, "drift", 1},
+	}
+	for _, tc := range cases {
+		t.Run(tc.scenario.Name(), func(t *testing.T) {
+			var log *Log
+			harness(t, 7, func(m *sim.Machine, tgt Target, l *Log) {
+				log = l
+				tc.scenario.Inject(m, tgt, 99, l)
+			})
+			if got := log.CountScheduled(tc.kind); got != tc.want {
+				t.Errorf("scheduled %d %s events, want %d", got, tc.kind, tc.want)
+			}
+			if got := log.CountFired(tc.kind); got != tc.want {
+				t.Errorf("fired %d %s events, want %d (scheduled %d)",
+					got, tc.kind, tc.want, log.CountScheduled(tc.kind))
+			}
+		})
+	}
+}
+
+// TestScheduleDeterministicPerSeed: the same scenario and seed schedule
+// identical events across runs; a different seed moves them.
+func TestScheduleDeterministicPerSeed(t *testing.T) {
+	sched := func(seedv int64) []Event {
+		var log *Log
+		harness(t, 7, func(m *sim.Machine, tgt Target, l *Log) {
+			log = l
+			Preemption{Count: 4, MinDur: 1000, MaxDur: 5000}.Inject(m, tgt, seedv, l)
+		})
+		return log.Scheduled()
+	}
+	a, b := sched(5), sched(5)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same seed scheduled different events:\n%v\n%v", a, b)
+	}
+	if reflect.DeepEqual(a, sched(6)) {
+		t.Fatal("different seeds scheduled identical events")
+	}
+}
+
+func composedParts() []Scenario {
+	return []Scenario{
+		Preemption{Count: 3, MinDur: 2_000, MaxDur: 8_000},
+		TimerSpikes{Count: 2, Dur: 20_000, Extra: 300},
+		ClockDrift{PPM: 500},
+		Migration{Cost: 2_000},
+		Pollution{Bursts: 3, Walks: 1, Gap: 40},
+	}
+}
+
+// TestComposeOrderIndependent: composing the same scenarios in any order
+// schedules identical events AND produces an identical simulation.
+func TestComposeOrderIndependent(t *testing.T) {
+	run := func(reversed bool) ([]Event, []int64) {
+		parts := composedParts()
+		if reversed {
+			for i, j := 0, len(parts)-1; i < j; i, j = i+1, j-1 {
+				parts[i], parts[j] = parts[j], parts[i]
+			}
+		}
+		var log *Log
+		trace := harness(t, 7, func(m *sim.Machine, tgt Target, l *Log) {
+			log = l
+			Compose(parts...).Inject(m, tgt, 1234, l)
+		})
+		return log.Scheduled(), trace
+	}
+	evA, trA := run(false)
+	evB, trB := run(true)
+	if !reflect.DeepEqual(evA, evB) {
+		t.Fatalf("composition order changed the schedule:\n%v\n%v", evA, evB)
+	}
+	if !reflect.DeepEqual(trA, trB) {
+		t.Fatal("composition order changed the simulated timing trace")
+	}
+	if len(evA) == 0 {
+		t.Fatal("composite scheduled nothing")
+	}
+}
+
+func TestComposeRejectsDuplicateNames(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Compose accepted two scenarios with the same name")
+		}
+	}()
+	Compose(Preemption{Count: 1}, Preemption{Count: 2})
+}

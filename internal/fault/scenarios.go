@@ -1,0 +1,149 @@
+package fault
+
+import (
+	"math/rand"
+
+	"leakyway/internal/seed"
+	"leakyway/internal/sim"
+)
+
+// Preemption deschedules an agent at random points — the OS stealing the
+// receiver's core mid-transmission, the dominant desynchronization threat
+// for epoch-based channels.
+type Preemption struct {
+	// Role is the preempted party (default receiver).
+	Role string
+	// Count preemptions of duration uniform in [MinDur, MaxDur] cycles.
+	Count          int
+	MinDur, MaxDur int64
+}
+
+func (p Preemption) Name() string { return "preempt-" + roleOf(p.Role) }
+
+func (p Preemption) Inject(m *sim.Machine, tgt Target, seedv int64, log *Log) {
+	rng := rand.New(rand.NewSource(seedv))
+	agent := tgt.agent(roleOf(p.Role))
+	lo, hi := p.MinDur, p.MaxDur
+	if hi < lo {
+		hi = lo
+	}
+	for _, at := range points(rng, p.Count, tgt.Horizon) {
+		dur := lo
+		if hi > lo {
+			dur += rng.Int63n(hi - lo + 1)
+		}
+		m.SchedulePreempt(agent, at, dur)
+		log.schedule(Event{Scenario: p.Name(), Agent: agent, Kind: sim.FaultPreempt, At: at, Detail: dur})
+	}
+}
+
+// Pollution runs a hostile co-tenant that thrashes the channel's target
+// sets in bursts — beyond the single periodic noise daemon, this models
+// cache-filling phases of real workloads (Section IV-B3's reliability
+// threat, turned up).
+type Pollution struct {
+	// Bursts fill walks over the target-congruent pool; each burst walks
+	// the pool Walks times with Gap idle cycles between loads.
+	Bursts, Walks int
+	Gap           int64
+}
+
+func (p Pollution) Name() string { return "pollute" }
+
+func (p Pollution) Inject(m *sim.Machine, tgt Target, seedv int64, log *Log) {
+	if len(tgt.Pollute) == 0 || tgt.PolluteAS == nil {
+		return
+	}
+	rng := rand.New(rand.NewSource(seedv))
+	walks := p.Walks
+	if walks <= 0 {
+		walks = 1
+	}
+	starts := points(rng, p.Bursts, tgt.Horizon)
+	for _, at := range starts {
+		log.schedule(Event{Scenario: p.Name(), Agent: "pollution", Kind: "pollute-burst", At: at, Detail: int64(walks)})
+	}
+	lines := tgt.Pollute
+	gap := p.Gap
+	name := p.Name()
+	m.SpawnDaemon("pollution", tgt.SpareCore, tgt.PolluteAS, func(c *sim.Core) {
+		for _, at := range starts {
+			c.WaitUntil(at)
+			log.fire(Event{Scenario: name, Agent: "pollution", Kind: "pollute-burst", At: at, Detail: int64(walks)})
+			for w := 0; w < walks; w++ {
+				for _, va := range lines {
+					c.Load(va)
+					if gap > 0 {
+						c.Spin(gap)
+					}
+				}
+			}
+		}
+		for {
+			c.Spin(1 << 20) // park until teardown
+		}
+	})
+}
+
+// ClockDrift skews one party's TSC by PPM parts per million — unsynced
+// clocks across sockets, slowly sliding the parties' slot grids apart.
+type ClockDrift struct {
+	Role string
+	PPM  int64
+}
+
+func (d ClockDrift) Name() string { return "drift-" + roleOf(d.Role) }
+
+func (d ClockDrift) Inject(m *sim.Machine, tgt Target, seedv int64, log *Log) {
+	agent := tgt.agent(roleOf(d.Role))
+	m.SetClockDrift(agent, d.PPM)
+	ev := Event{Scenario: d.Name(), Agent: agent, Kind: "drift", At: 0, Detail: d.PPM}
+	log.schedule(ev)
+	log.fire(ev) // takes effect immediately and unconditionally
+}
+
+// TimerSpikes degrades an agent's timer in windows — SMIs, frequency
+// transitions and co-runner interference blurring the latency threshold
+// that separates a conflict miss from a hit.
+type TimerSpikes struct {
+	Role  string
+	Count int
+	// Dur is each window's length; Extra the worst-case added cycles.
+	Dur, Extra int64
+}
+
+func (s TimerSpikes) Name() string { return "spikes-" + roleOf(s.Role) }
+
+func (s TimerSpikes) Inject(m *sim.Machine, tgt Target, seedv int64, log *Log) {
+	rng := rand.New(rand.NewSource(seedv))
+	agent := tgt.agent(roleOf(s.Role))
+	for i, at := range points(rng, s.Count, tgt.Horizon) {
+		m.ScheduleTimerSpike(agent, at, s.Dur, s.Extra, seed.Index(seedv, i))
+		log.schedule(Event{Scenario: s.Name(), Agent: agent, Kind: sim.FaultTimerSpike, At: at, Detail: s.Extra})
+	}
+}
+
+// Migration moves a party to the spare core mid-transmission: its private
+// caches go cold and every line it had primed must be re-established.
+type Migration struct {
+	Role string
+	// Cost is the rescheduling stall in cycles.
+	Cost int64
+}
+
+func (g Migration) Name() string { return "migrate-" + roleOf(g.Role) }
+
+func (g Migration) Inject(m *sim.Machine, tgt Target, seedv int64, log *Log) {
+	rng := rand.New(rand.NewSource(seedv))
+	agent := tgt.agent(roleOf(g.Role))
+	at := points(rng, 1, tgt.Horizon)[0]
+	m.ScheduleMigrate(agent, at, tgt.SpareCore, g.Cost)
+	log.schedule(Event{Scenario: g.Name(), Agent: agent, Kind: sim.FaultMigrate, At: at, Detail: int64(tgt.SpareCore)})
+}
+
+func roleOf(role string) string {
+	if role == RoleSender {
+		return RoleSender
+	}
+	return RoleReceiver
+}

@@ -1,0 +1,54 @@
+// Package seed provides the deterministic seed-derivation primitives the
+// whole module shares. No parallel unit of work — experiment, platform,
+// trial shard, fault scenario — ever feeds the master seed to an RNG
+// directly: it derives a private stream keyed by its own path, so results
+// depend only on (master seed, key) and never on scheduling order, worker
+// count, or composition order.
+package seed
+
+import "strconv"
+
+// Split derives a child seed from a master seed and a task key.
+//
+// Each key part is absorbed with FNV-1a and the state is then passed
+// through the SplitMix64 finalizer, so the derivation folds left:
+//
+//	Split(m, "a", "b") == Split(Split(m, "a"), "b")
+//
+// which lets a task derive sub-task seeds without knowing its own full
+// path. Distinct keys yield (with overwhelming probability) distinct,
+// decorrelated streams; the same key always yields the same stream.
+func Split(master int64, parts ...string) int64 {
+	s := uint64(master)
+	for _, p := range parts {
+		s ^= fnv1a64(p)
+		s = mix64(s)
+	}
+	return int64(s)
+}
+
+// Index derives the seed for numbered shard i — the common case when
+// fanning trials out across goroutines.
+func Index(master int64, i int) int64 {
+	return Split(master, "shard/"+strconv.Itoa(i))
+}
+
+// mix64 is the SplitMix64 output function (Steele, Lea & Flood,
+// "Fast Splittable Pseudorandom Number Generators", OOPSLA 2014): a
+// bijective avalanche over 64 bits, so no two states collide.
+func mix64(z uint64) uint64 {
+	z += 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// fnv1a64 hashes a key part (FNV-1a, 64-bit).
+func fnv1a64(s string) uint64 {
+	h := uint64(0xcbf29ce484222325)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 0x100000001b3
+	}
+	return h
+}

@@ -1,0 +1,42 @@
+package seed
+
+import "testing"
+
+// TestSplitFoldsLeft pins the property the whole module's determinism
+// leans on: a task can derive sub-task seeds from its own seed without
+// knowing its full path.
+func TestSplitFoldsLeft(t *testing.T) {
+	if got, want := Split(42, "a", "b"), Split(Split(42, "a"), "b"); got != want {
+		t.Fatalf("Split(42, a, b) = %d, Split(Split(42, a), b) = %d", got, want)
+	}
+	if got, want := Split(7, "x", "y", "z"), Split(Split(Split(7, "x"), "y"), "z"); got != want {
+		t.Fatalf("three-part fold: %d != %d", got, want)
+	}
+}
+
+func TestSplitDistinguishesKeys(t *testing.T) {
+	seen := map[int64][]string{}
+	keys := []string{"a", "b", "ab", "ba", "shard/1", "shard/10", ""}
+	for _, k := range keys {
+		v := Split(42, k)
+		if prev, dup := seen[v]; dup {
+			t.Fatalf("keys %v and %q collide at %d", prev, k, v)
+		}
+		seen[v] = []string{k}
+	}
+	if Split(1, "a") == Split(2, "a") {
+		t.Fatal("different masters, same key, same seed")
+	}
+}
+
+func TestSplitIsStable(t *testing.T) {
+	// The derivation is part of the reproducibility contract: changing it
+	// moves every seed-sensitive metric (the golden test would flag the
+	// drift, this pins the root cause).
+	if a, b := Split(42, "faults"), Split(42, "faults"); a != b {
+		t.Fatalf("not deterministic: %d vs %d", a, b)
+	}
+	if a, b := Index(42, 3), Split(42, "shard/3"); a != b {
+		t.Fatalf("Index(42, 3) = %d, want Split(42, shard/3) = %d", a, b)
+	}
+}

@@ -21,12 +21,17 @@ type Core struct {
 	now int64
 }
 
-// Now returns the core's current cycle (its TSC).
-func (c *Core) Now() int64 { return c.now }
+// Now returns the core's current cycle as the agent perceives it: the
+// global clock plus any accrued drift skew (zero unless a clock-drift
+// fault is active — see fault.go).
+func (c *Core) Now() int64 { return c.now + c.agent.skew }
 
-// step performs the scheduling handshake and advances the local clock.
+// step performs the scheduling handshake and advances the local clock,
+// applying any scheduled disturbances that have come due.
 func (c *Core) step(cost int64) {
 	c.now += cost
+	c.accrueDrift(cost)
+	c.applyFaults()
 	c.agent.yield()
 }
 
@@ -79,6 +84,7 @@ func (c *Core) timed(lat int64) int64 {
 	if cfg.TimerJit > 0 {
 		t += c.m.rng.Int63n(2*cfg.TimerJit+1) - cfg.TimerJit
 	}
+	t += c.spikeJitter()
 	return t
 }
 
@@ -137,17 +143,21 @@ func (c *Core) Spin(cycles int64) {
 }
 
 // WaitUntil spins until the core's TSC reaches t (plus sync slack jitter),
-// the synchronization primitive the channel protocols use. If t is already
-// past, it is a small-cost no-op.
+// the synchronization primitive the channel protocols use. The target is
+// in the agent's perceived clock: under a drift fault a fast clock wakes
+// early in global time, exactly as a real skewed TSC would. If t is
+// already past, it is a small-cost no-op.
 func (c *Core) WaitUntil(t int64) {
-	target := t
+	target := t - c.agent.skew
 	if c.m.SyncSlack > 0 {
 		target += c.m.rng.Int63n(c.m.SyncSlack + 1)
 	}
 	if target < c.now {
 		target = c.now
 	}
+	c.accrueDrift(target - c.now)
 	c.now = target
+	c.applyFaults()
 	c.agent.yield()
 }
 

@@ -1,0 +1,188 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// Scheduling-level fault hooks. The fault-injection framework (package
+// fault) models hostile co-tenancy — OS preemption, core migration, clock
+// drift, timer-jitter spikes — by scheduling disturbances here before the
+// machine runs. Disturbances are keyed by agent name, so they can be
+// registered before the target agent is even spawned (channel runners
+// spawn their own agents); each is applied exactly once, at the first
+// scheduling point at or after its trigger cycle, and reported through
+// FaultNotify so injectors can assert their firing counts.
+
+// Fault kinds reported through Machine.FaultNotify.
+const (
+	FaultPreempt    = "preempt"
+	FaultMigrate    = "migrate"
+	FaultTimerSpike = "timer-spike"
+)
+
+// disturbance is one scheduled fault against one agent.
+type disturbance struct {
+	at   int64
+	dur  int64 // preempt: stall cycles
+	core int   // migrate: destination core
+	kind string
+}
+
+// spikeWindow is a window of degraded timer precision: timed measurements
+// taken inside [from, to) gain extra uniform jitter from a private stream.
+type spikeWindow struct {
+	from, to int64
+	extra    int64
+	rng      *rand.Rand
+	fired    bool
+}
+
+// agentFaults is the per-agent disturbance state, staged under the agent's
+// name until Spawn attaches it.
+type agentFaults struct {
+	queue    []disturbance // sorted by trigger cycle
+	spikes   []spikeWindow
+	driftPPM int64
+}
+
+func (m *Machine) faultsFor(name string) *agentFaults {
+	if m.faults == nil {
+		m.faults = map[string]*agentFaults{}
+	}
+	f := m.faults[name]
+	if f == nil {
+		f = &agentFaults{}
+		m.faults[name] = f
+	}
+	return f
+}
+
+// SchedulePreempt deschedules the named agent for dur cycles at the first
+// scheduling point at or after cycle at — the OS stealing the core.
+func (m *Machine) SchedulePreempt(agent string, at, dur int64) {
+	if dur <= 0 {
+		return
+	}
+	m.pushDisturbance(agent, disturbance{at: at, dur: dur, kind: FaultPreempt})
+}
+
+// ScheduleMigrate moves the named agent to core newCore at the first
+// scheduling point at or after cycle at. The agent's subsequent accesses
+// go through the new core's (cold) private caches, with a fixed
+// rescheduling stall of cost cycles.
+func (m *Machine) ScheduleMigrate(agent string, at int64, newCore int, cost int64) {
+	if newCore < 0 || newCore >= m.H.Config().Cores {
+		panic(fmt.Sprintf("sim: ScheduleMigrate(%q): core %d out of range", agent, newCore))
+	}
+	if cost < 0 {
+		cost = 0
+	}
+	m.pushDisturbance(agent, disturbance{at: at, dur: cost, core: newCore, kind: FaultMigrate})
+}
+
+// ScheduleTimerSpike degrades the named agent's timer for dur cycles
+// starting at cycle at: timed measurements inside the window gain uniform
+// extra jitter in [0, extra], drawn from a stream private to this window
+// (seeded by spikeSeed), so composed scenarios stay order-independent.
+func (m *Machine) ScheduleTimerSpike(agent string, at, dur, extra, spikeSeed int64) {
+	if dur <= 0 || extra <= 0 {
+		return
+	}
+	f := m.faultsFor(agent)
+	f.spikes = append(f.spikes, spikeWindow{
+		from: at, to: at + dur, extra: extra,
+		rng: rand.New(rand.NewSource(spikeSeed)),
+	})
+	sort.SliceStable(f.spikes, func(i, j int) bool { return f.spikes[i].from < f.spikes[j].from })
+	m.syncAgentFaults(agent)
+}
+
+// SetClockDrift skews the named agent's perceived TSC by ppm parts per
+// million of elapsed time: Now() and WaitUntil targets run fast (ppm > 0)
+// or slow (ppm < 0) relative to the global clock, desynchronizing
+// epoch-based protocols exactly as unsynced TSCs do across sockets.
+func (m *Machine) SetClockDrift(agent string, ppm int64) {
+	m.faultsFor(agent).driftPPM = ppm
+	m.syncAgentFaults(agent)
+}
+
+func (m *Machine) pushDisturbance(agent string, d disturbance) {
+	f := m.faultsFor(agent)
+	f.queue = append(f.queue, d)
+	sort.SliceStable(f.queue, func(i, j int) bool { return f.queue[i].at < f.queue[j].at })
+	m.syncAgentFaults(agent)
+}
+
+// syncAgentFaults refreshes an already-spawned agent's view of its staged
+// faults (Spawn wires the same pointer for agents spawned later).
+func (m *Machine) syncAgentFaults(name string) {
+	for _, a := range m.agents {
+		if a.Name == name {
+			a.faults = m.faults[name]
+		}
+	}
+}
+
+// notifyFault reports a fired disturbance to the registered observer.
+func (m *Machine) notifyFault(agent, kind string, at, detail int64) {
+	if m.FaultNotify != nil {
+		m.FaultNotify(agent, kind, at, detail)
+	}
+}
+
+// applyFaults consumes every disturbance due at or before the agent's
+// current clock. A preemption advances the clock, which can make further
+// disturbances due, so it loops to a fixed point.
+func (c *Core) applyFaults() {
+	f := c.agent.faults
+	if f == nil {
+		return
+	}
+	for len(f.queue) > 0 && f.queue[0].at <= c.now {
+		d := f.queue[0]
+		f.queue = f.queue[1:]
+		switch d.kind {
+		case FaultPreempt:
+			c.now += d.dur
+			c.m.notifyFault(c.agent.Name, FaultPreempt, d.at, d.dur)
+		case FaultMigrate:
+			c.ID = d.core
+			c.now += d.dur
+			c.m.notifyFault(c.agent.Name, FaultMigrate, d.at, int64(d.core))
+		}
+	}
+}
+
+// accrueDrift converts elapsed global cycles into perceived-clock skew,
+// carrying the sub-cycle remainder so slow drifts still accumulate.
+func (c *Core) accrueDrift(elapsed int64) {
+	f := c.agent.faults
+	if f == nil || f.driftPPM == 0 || elapsed <= 0 {
+		return
+	}
+	c.agent.driftAcc += elapsed * f.driftPPM
+	c.agent.skew += c.agent.driftAcc / 1_000_000
+	c.agent.driftAcc %= 1_000_000
+}
+
+// spikeJitter returns the extra timer jitter for a measurement taken now,
+// if a degraded-timer window covers it.
+func (c *Core) spikeJitter() int64 {
+	f := c.agent.faults
+	if f == nil {
+		return 0
+	}
+	for i := range f.spikes {
+		w := &f.spikes[i]
+		if c.now >= w.from && c.now < w.to {
+			if !w.fired {
+				w.fired = true
+				c.m.notifyFault(c.agent.Name, FaultTimerSpike, w.from, w.extra)
+			}
+			return w.rng.Int63n(w.extra + 1)
+		}
+	}
+	return 0
+}

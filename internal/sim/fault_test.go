@@ -1,0 +1,178 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+
+	"leakyway/internal/hier"
+	"leakyway/internal/mem"
+)
+
+// TestDaemonTeardownPanicSurfaces is the regression test for silent daemon
+// deaths: a panic raised inside a daemon *during teardown* (a deferred
+// function blowing up while the kill signal unwinds) must surface through
+// Run as an AgentError naming the agent, not vanish behind the internal
+// killedError.
+func TestDaemonTeardownPanicSurfaces(t *testing.T) {
+	m := newTestMachine(31)
+	m.SpawnDaemon("rotten", 1, nil, func(c *Core) {
+		defer func() { panic("teardown bomb") }()
+		for {
+			c.Spin(50)
+		}
+	})
+	m.Spawn("work", 0, nil, func(c *Core) { c.Spin(500) })
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("daemon teardown panic was swallowed")
+		}
+		ae, ok := r.(*AgentError)
+		if !ok {
+			t.Fatalf("panic value is %T, want *AgentError", r)
+		}
+		if ae.Agent != "rotten" {
+			t.Errorf("AgentError.Agent = %q, want \"rotten\"", ae.Agent)
+		}
+		if ae.Value != "teardown bomb" {
+			t.Errorf("AgentError.Value = %v, want the original panic value", ae.Value)
+		}
+		if !strings.Contains(ae.Error(), "rotten") || len(ae.Stack) == 0 {
+			t.Errorf("AgentError must carry the agent name and a stack; got %q", ae.Error())
+		}
+	}()
+	m.Run()
+}
+
+// TestAgentPanicCarriesName checks the mid-run panic path reports the
+// structured error too.
+func TestAgentPanicCarriesName(t *testing.T) {
+	m := newTestMachine(32)
+	m.Spawn("boomer", 0, nil, func(c *Core) {
+		c.Spin(10)
+		panic("mid-run")
+	})
+	defer func() {
+		ae, ok := recover().(*AgentError)
+		if !ok || ae.Agent != "boomer" || ae.Value != "mid-run" {
+			t.Fatalf("got %#v, want AgentError{Agent: boomer, Value: mid-run}", ae)
+		}
+	}()
+	m.Run()
+}
+
+func TestSchedulePreemptStallsAgent(t *testing.T) {
+	m := newTestMachine(33)
+	m.SyncSlack = 0
+	var fired []string
+	m.FaultNotify = func(agent, kind string, at, detail int64) {
+		fired = append(fired, agent+"/"+kind)
+	}
+	m.SchedulePreempt("victim", 1000, 5000) // staged before spawn
+	var end int64
+	m.Spawn("victim", 0, nil, func(c *Core) {
+		for i := 0; i < 20; i++ {
+			c.Spin(100)
+		}
+		end = c.Now()
+	})
+	m.Run()
+	// 20×100 cycles of work plus the 5000-cycle stall.
+	if end != 2000+5000 {
+		t.Fatalf("victim finished at %d, want %d", end, 2000+5000)
+	}
+	if len(fired) != 1 || fired[0] != "victim/"+FaultPreempt {
+		t.Fatalf("fired = %v, want one victim preempt", fired)
+	}
+}
+
+func TestScheduleMigrateChangesCore(t *testing.T) {
+	m := newTestMachine(34)
+	var before, after hier.Level
+	m.ScheduleMigrate("mover", 500, 1, 0)
+	m.Spawn("mover", 0, nil, func(c *Core) {
+		buf := c.Alloc(mem.PageSize)
+		c.Load(buf)                // DRAM fill on core 0
+		before = c.Load(buf).Level // L1 hit on core 0
+		c.Spin(1000)               // crosses the migration point
+		after = c.Load(buf).Level  // core 1's private caches are cold
+	})
+	m.Run()
+	if before != hier.LevelL1 {
+		t.Fatalf("pre-migration reload level = %v, want L1", before)
+	}
+	if after == hier.LevelL1 {
+		t.Fatalf("post-migration reload still hit L1; migration did not switch cores")
+	}
+}
+
+func TestClockDriftSkewsPerceivedTime(t *testing.T) {
+	m := newTestMachine(35)
+	m.SyncSlack = 0
+	m.SetClockDrift("fast", 1000) // +1000 ppm: 1 extra cycle per 1000
+	var perceived, wake int64
+	m.Spawn("fast", 0, nil, func(c *Core) {
+		c.Spin(100_000)
+		perceived = c.Now()
+		c.WaitUntil(300_000)
+		wake = c.Now()
+	})
+	var global int64
+	m.Spawn("ref", 1, nil, func(c *Core) {
+		c.WaitUntil(600_000) // outlives the drifting agent
+		global = c.Now()
+	})
+	m.Run()
+	if perceived != 100_100 {
+		t.Fatalf("perceived clock after 100k cycles at +1000ppm = %d, want 100100", perceived)
+	}
+	if wake < 300_000 {
+		t.Fatalf("WaitUntil woke at perceived %d, before its target", wake)
+	}
+	if global != 600_000 {
+		t.Fatalf("undrifted agent clock = %d, want 600000", global)
+	}
+}
+
+func TestTimerSpikeAddsJitterInWindow(t *testing.T) {
+	cfg := testConfig()
+	cfg.Lat.L1Jit, cfg.Lat.TimerJit = 0, 0
+	cfg.Lat.MemJit, cfg.Lat.LLCJit, cfg.Lat.L2Jit = 0, 0, 0
+	m := MustNewMachine(cfg, 1<<24, 36)
+	m.ScheduleTimerSpike("meas", 1000, 100_000, 500, 777)
+	spikes := 0
+	m.FaultNotify = func(agent, kind string, at, detail int64) {
+		if kind == FaultTimerSpike {
+			spikes++
+		}
+	}
+	clean := cfg.Lat.L1Hit + cfg.Lat.TimerOverhead
+	var inWindow []int64
+	m.Spawn("meas", 0, nil, func(c *Core) {
+		buf := c.Alloc(mem.PageSize)
+		c.Load(buf)
+		if t0 := c.TimedLoad(buf); t0 != clean { // before the window
+			t.Errorf("pre-window timed load = %d, want %d", t0, clean)
+		}
+		c.Spin(2000)
+		for i := 0; i < 16; i++ {
+			inWindow = append(inWindow, c.TimedLoad(buf))
+		}
+	})
+	m.Run()
+	saw := false
+	for _, v := range inWindow {
+		if v < clean || v > clean+500 {
+			t.Fatalf("in-window timed load = %d outside [%d, %d]", v, clean, clean+500)
+		}
+		if v != clean {
+			saw = true
+		}
+	}
+	if !saw {
+		t.Error("timer spike never perturbed a measurement")
+	}
+	if spikes != 1 {
+		t.Errorf("spike windows fired = %d, want 1 notification per window", spikes)
+	}
+}

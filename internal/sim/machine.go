@@ -9,6 +9,7 @@ package sim
 import (
 	"fmt"
 	"math/rand"
+	"runtime/debug"
 	"sort"
 
 	"leakyway/internal/hier"
@@ -37,6 +38,11 @@ type Machine struct {
 	// SyncSlack is the ± jitter applied by Core.WaitUntil, modelling the
 	// granularity of a TSC spin-wait loop.
 	SyncSlack int64
+
+	// faults holds scheduled disturbances keyed by agent name; see
+	// fault.go. FaultNotify, when set, observes each disturbance firing.
+	faults      map[string]*agentFaults
+	FaultNotify func(agent, kind string, at, detail int64)
 }
 
 // NewMachine builds a machine for the given platform config with a physical
@@ -87,7 +93,14 @@ type Agent struct {
 	resume  chan struct{}
 	yielded chan struct{}
 	done    bool
-	err     any // recovered panic, if any (killedError excluded)
+	err     any    // recovered panic, if any (killedError excluded)
+	stack   []byte // goroutine stack captured with err
+
+	// Fault state (fault.go): scheduled disturbances, perceived-clock skew
+	// and its sub-cycle accumulator.
+	faults   *agentFaults
+	skew     int64
+	driftAcc int64
 }
 
 // Spawn registers a program pinned to coreID using the given address space.
@@ -119,15 +132,31 @@ func (m *Machine) spawn(name string, coreID int, as *mem.AddressSpace, fn func(*
 		yielded: make(chan struct{}),
 	}
 	a.core = &Core{m: m, agent: a, ID: coreID, AS: as}
+	a.faults = m.faults[name] // nil unless faults were staged for this name
 	m.agents = append(m.agents, a)
 	return a
 }
 
+// AgentError is the panic value Run raises when an agent panicked: it
+// names the agent and carries the original panic value plus the agent
+// goroutine's stack, so a test failure points at the faulty agent instead
+// of a bare scheduler-internal value.
+type AgentError struct {
+	Agent string
+	Value any
+	Stack []byte
+}
+
+func (e *AgentError) Error() string {
+	return fmt.Sprintf("sim: agent %q panicked: %v\n%s", e.Agent, e.Value, e.Stack)
+}
+
 // Run starts every spawned agent and interleaves them in clock order until
-// all non-daemon agents complete; daemons are then torn down. It panics if
-// an agent panicked (propagating the original value), since that always
-// indicates a harness bug. Agents spawned after Run returns belong to a
-// fresh Run call.
+// all non-daemon agents complete; daemons are then torn down. It panics
+// with an *AgentError (naming the agent and carrying the original panic
+// value) if any agent panicked — including a daemon that panics during
+// teardown — since that always indicates a harness bug. Agents spawned
+// after Run returns belong to a fresh Run call.
 func (m *Machine) Run() {
 	for _, a := range m.agents {
 		a.start()
@@ -140,12 +169,16 @@ func (m *Machine) Run() {
 		a.resume <- struct{}{}
 		<-a.yielded
 		if a.done && a.err != nil {
-			m.killAll()
-			panic(fmt.Sprintf("sim: agent %q panicked: %v", a.Name, a.err))
+			m.killAll() // ignore secondary teardown errors; the first panic wins
+			m.agents = nil
+			panic(&AgentError{Agent: a.Name, Value: a.err, Stack: a.stack})
 		}
 	}
-	m.killAll()
+	err := m.killAll()
 	m.agents = nil
+	if err != nil {
+		panic(err)
+	}
 }
 
 // nextRunnable picks the live non-done agent with the smallest core clock,
@@ -173,15 +206,23 @@ func (m *Machine) nextRunnable() *Agent {
 	return best
 }
 
-// killAll tears down any still-running agents (daemons).
-func (m *Machine) killAll() {
+// killAll tears down any still-running agents (daemons). The expected
+// teardown path is the killedError panic the agent wrapper swallows; a
+// daemon that instead dies with a real panic (e.g. a deferred function
+// blowing up while unwinding) is reported, not silently discarded.
+func (m *Machine) killAll() *AgentError {
+	var firstErr *AgentError
 	for _, a := range m.agents {
 		if a.done {
 			continue
 		}
 		close(a.resume)
 		<-a.yielded
+		if a.err != nil && firstErr == nil {
+			firstErr = &AgentError{Agent: a.Name, Value: a.err, Stack: a.stack}
+		}
 	}
+	return firstErr
 }
 
 // start launches the agent goroutine; it stays parked until first resumed.
@@ -191,6 +232,7 @@ func (a *Agent) start() {
 			if r := recover(); r != nil {
 				if _, isKill := r.(killedError); !isKill {
 					a.err = r
+					a.stack = debug.Stack()
 				}
 			}
 			a.done = true

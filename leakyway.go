@@ -29,6 +29,7 @@ import (
 	"leakyway/internal/core"
 	"leakyway/internal/evset"
 	"leakyway/internal/experiments"
+	"leakyway/internal/fault"
 	"leakyway/internal/hier"
 	"leakyway/internal/mem"
 	"leakyway/internal/platform"
@@ -164,6 +165,70 @@ var (
 	Interleave      = channel.Interleave
 	Deinterleave    = channel.Deinterleave
 )
+
+//
+// Reliable transport (robustness extension).
+//
+
+// TransportConfig parameterizes one ARQ transfer over the self-sync
+// channel: physical-layer parameters plus retransmission and adaptive
+// recalibration policy.
+type TransportConfig = channel.TransportConfig
+
+// TransportReport summarizes one ARQ transfer (attempts, retransmissions,
+// recalibrations, final coding/slot, goodput, residual errors).
+type TransportReport = channel.TransportReport
+
+// DefaultTransportConfig returns calibrated ARQ parameters for a platform.
+func DefaultTransportConfig(p Platform) TransportConfig {
+	return channel.DefaultTransportConfig(p.Name, p.FreqGHz)
+}
+
+// RunARQ transfers payload over the reliable ARQ transport: CRC-8-framed
+// data bursts on a forward lane, ACK/NACK bursts on a set-disjoint reverse
+// lane, bounded retransmission and raw → Hamming → slot-stretch
+// degradation. It returns an error for invalid configurations; a completed
+// transfer with rep.Delivered false means retries were exhausted.
+func RunARQ(m *Machine, cfg TransportConfig, payload []bool) (TransportReport, []bool, error) {
+	return channel.RunARQ(m, cfg, payload)
+}
+
+//
+// Fault injection (robustness extension).
+//
+
+// FaultScenario is a composable disturbance injected into a machine before
+// a run: see Preemption, Pollution, ClockDrift, TimerSpikes, Migration.
+type FaultScenario = fault.Scenario
+
+// FaultTarget names the victim agents and supplies the injection horizon
+// and pollution working set.
+type FaultTarget = fault.Target
+
+// FaultLog records scheduled and fired injection events for assertions.
+type FaultLog = fault.Log
+
+// FaultEvent is one injection occurrence.
+type FaultEvent = fault.Event
+
+// Fault scenarios (each implements FaultScenario).
+type (
+	// Preemption deschedules an agent for random windows.
+	Preemption = fault.Preemption
+	// Pollution bursts walk a congruent working set, evicting the lane.
+	Pollution = fault.Pollution
+	// ClockDrift skews one party's TSC by PPM parts per million.
+	ClockDrift = fault.ClockDrift
+	// TimerSpikes inflates an agent's timer readings in windows.
+	TimerSpikes = fault.TimerSpikes
+	// Migration moves an agent to a different core mid-run.
+	Migration = fault.Migration
+)
+
+// ComposeFaults combines scenarios into one deterministic composite: parts
+// inject in a fixed order with independent derived seeds, so a composite is
+// reproducible regardless of how it was assembled.
+func ComposeFaults(parts ...FaultScenario) FaultScenario { return fault.Compose(parts...) }
 
 //
 // Side-channel attacks (Section V).
