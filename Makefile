@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: all build vet fmt-check test race fuzz-smoke verify bench bench-jobs clean
+.PHONY: all build vet fmt-check staticcheck test race fuzz-smoke trace-smoke verify bench bench-jobs clean
 
 all: verify
 
@@ -26,13 +26,34 @@ test:
 race:
 	$(GO) test -race ./...
 
+# staticcheck when the host has it; skipped (not failed) otherwise, so
+# verify works on boxes where the tool cannot be installed.
+staticcheck:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipping"; \
+	fi
+
 # Short fuzz runs over the wire-format decoders (go test takes one -fuzz
 # pattern per invocation, hence one command per target).
 fuzz-smoke:
 	$(GO) test ./internal/channel -run '^$$' -fuzz FuzzFrameDecode -fuzztime 5s
 	$(GO) test ./internal/channel -run '^$$' -fuzz FuzzAckDecode -fuzztime 5s
 
-verify: build vet fmt-check test race fuzz-smoke
+# Traced-run determinism gate: the same traced fig8 run at -jobs 1 and
+# -jobs 8 must export byte-identical traces. Filtered to the protocol-level
+# subsystems to keep the files small.
+trace-smoke:
+	$(GO) build -o /tmp/leakyway-smoke ./cmd/leakyway
+	/tmp/leakyway-smoke -quick -jobs 1 -trace /tmp/leakyway-trace-j1.jsonl \
+		-trace-filter channel,sim,fault run fig8 > /dev/null
+	/tmp/leakyway-smoke -quick -jobs 8 -trace /tmp/leakyway-trace-j8.jsonl \
+		-trace-filter channel,sim,fault run fig8 > /dev/null
+	cmp /tmp/leakyway-trace-j1.jsonl /tmp/leakyway-trace-j8.jsonl
+	@echo "trace-smoke: traces byte-identical across -jobs 1/8"
+
+verify: build vet fmt-check staticcheck test race fuzz-smoke trace-smoke
 
 # Full benchmark sweep (quick-mode trial counts).
 bench:

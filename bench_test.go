@@ -194,3 +194,31 @@ func BenchmarkChannelBit(b *testing.B) {
 	b.ReportMetric(100*rep.BER, "BER_%")
 	_ = mem.LineSize
 }
+
+// benchTraceOverhead runs a fixed NTP+NTP transmission per iteration,
+// with the trace bus either disabled (nil sink — must cost nothing) or
+// recording every subsystem.
+func benchTraceOverhead(b *testing.B, traced bool) {
+	plat := Skylake()
+	cfg := DefaultChannelConfig(plat)
+	cfg.Interval = 1500
+	cfg.NoisePeriod = 0
+	msg := RandomMessage(256, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := MustNewMachine(plat, 1<<30, 1)
+		if traced {
+			col := NewTraceCollector()
+			m.SetTracer(col.Tracer("bench", TraceAllPkgs))
+		}
+		RunNTPNTP(m, cfg, msg)
+	}
+}
+
+// BenchmarkTraceOverheadOff is the acceptance baseline: tracing disabled
+// must not measurably slow the simulator (compare against ...On).
+func BenchmarkTraceOverheadOff(b *testing.B) { benchTraceOverhead(b, false) }
+
+// BenchmarkTraceOverheadOn records hier+sim+channel events for the same
+// workload, measuring the full cost of the event bus when enabled.
+func BenchmarkTraceOverheadOn(b *testing.B) { benchTraceOverhead(b, true) }

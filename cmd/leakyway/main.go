@@ -17,6 +17,12 @@
 //	-jobs N                           worker goroutines (default NumCPU);
 //	                                  output is identical for every N
 //	-json FILE                        also write all metrics as JSON
+//	-trace FILE                       record a cycle-level event trace;
+//	                                  .jsonl writes compact JSONL, anything
+//	                                  else Chrome trace-event JSON that
+//	                                  Perfetto (ui.perfetto.dev) loads
+//	-trace-filter pkg1,pkg2           restrict tracing to subsystems
+//	                                  (hier,sim,fault,channel)
 package main
 
 import (
@@ -25,6 +31,7 @@ import (
 	"io"
 	"os"
 	"runtime"
+	"strings"
 
 	"leakyway"
 )
@@ -36,6 +43,8 @@ func main() {
 	flag.BoolVar(&opt.quick, "quick", false, "run with reduced trial counts")
 	flag.IntVar(&opt.jobs, "jobs", runtime.NumCPU(), "worker goroutines; results do not depend on this")
 	flag.StringVar(&opt.jsonPath, "json", "", "write metrics of every run experiment to this file as JSON")
+	flag.StringVar(&opt.tracePath, "trace", "", "write a cycle-level event trace to this file (.jsonl = JSONL, else Chrome trace-event JSON)")
+	flag.StringVar(&opt.traceFilter, "trace-filter", "", "comma-separated trace subsystems: hier,sim,fault,channel (default all)")
 	flag.Usage = usage
 	flag.Parse()
 
@@ -66,11 +75,13 @@ func main() {
 
 // options carries the flag values that shape a run.
 type options struct {
-	platform string
-	seed     int64
-	quick    bool
-	jobs     int
-	jsonPath string
+	platform    string
+	seed        int64
+	quick       bool
+	jobs        int
+	jsonPath    string
+	tracePath   string
+	traceFilter string
 }
 
 func usage() {
@@ -93,7 +104,19 @@ func list() {
 	}
 }
 
-func run(ids []string, opt options, out io.Writer) error {
+func run(ids []string, opt options, out io.Writer) (err error) {
+	// Output files are created up front (fail fast on a bad path) but a
+	// failed run must not leave stale exports behind.
+	defer func() {
+		if err != nil {
+			if opt.jsonPath != "" {
+				os.Remove(opt.jsonPath)
+			}
+			if opt.tracePath != "" {
+				os.Remove(opt.tracePath)
+			}
+		}
+	}()
 	ctx := leakyway.NewExperimentContext(out)
 	ctx.Seed = opt.seed
 	ctx.Quick = opt.quick
@@ -109,6 +132,34 @@ func run(ids []string, opt options, out io.Writer) error {
 			return fmt.Errorf("unknown platform %q (want skylake, kabylake or both)", opt.platform)
 		}
 		ctx.Platforms = []leakyway.Platform{p}
+	}
+
+	// Output files are created (and truncated) before any experiment runs,
+	// so a bad path fails in milliseconds instead of after the whole suite.
+	var jsonFile, traceFile *os.File
+	if opt.jsonPath != "" {
+		f, err := os.Create(opt.jsonPath)
+		if err != nil {
+			return fmt.Errorf("json export: %w", err)
+		}
+		defer f.Close()
+		jsonFile = f
+	}
+	if opt.tracePath != "" {
+		f, err := os.Create(opt.tracePath)
+		if err != nil {
+			return fmt.Errorf("trace export: %w", err)
+		}
+		defer f.Close()
+		traceFile = f
+		mask, err := leakyway.ParseTraceMask(opt.traceFilter)
+		if err != nil {
+			return err
+		}
+		ctx.Trace = leakyway.NewTraceCollector()
+		ctx.TraceMask = mask
+	} else if opt.traceFilter != "" {
+		return fmt.Errorf("-trace-filter requires -trace")
 	}
 
 	results := map[string]*leakyway.ExperimentResult{}
@@ -128,15 +179,38 @@ func run(ids []string, opt options, out io.Writer) error {
 		}
 	}
 
-	if opt.jsonPath != "" {
-		f, err := os.Create(opt.jsonPath)
-		if err != nil {
-			return fmt.Errorf("json export: %w", err)
-		}
-		defer f.Close()
-		if err := leakyway.WriteExperimentMetricsJSON(f, results); err != nil {
+	if jsonFile != nil {
+		if err := leakyway.WriteExperimentMetricsJSON(jsonFile, results); err != nil {
 			return fmt.Errorf("json export: %w", err)
 		}
 	}
+	if traceFile != nil {
+		if err := exportTrace(traceFile, opt.tracePath, ctx.Trace, out); err != nil {
+			return fmt.Errorf("trace export: %w", err)
+		}
+	}
+	return nil
+}
+
+// exportTrace writes the collected trace in the format the file extension
+// selects and prints one summary line per traced experiment.
+func exportTrace(f *os.File, path string, col *leakyway.TraceCollector, out io.Writer) error {
+	bufs := col.Buffers()
+	var err error
+	if strings.HasSuffix(path, ".jsonl") {
+		err = leakyway.WriteTraceJSONL(f, bufs)
+	} else {
+		err = leakyway.WriteChromeTrace(f, bufs)
+	}
+	if err != nil {
+		return err
+	}
+	keys, counts := col.CountByPrefix()
+	total := 0
+	for _, k := range keys {
+		fmt.Fprintf(out, "trace: %-12s %d events\n", k, counts[k])
+		total += counts[k]
+	}
+	fmt.Fprintf(out, "trace: %d events in %d streams -> %s\n", total, len(bufs), path)
 	return nil
 }

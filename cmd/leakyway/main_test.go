@@ -109,3 +109,97 @@ func TestRunFaultsJSONExport(t *testing.T) {
 		}
 	}
 }
+
+// TestRunBadOutputPathsFailFast: -json and -trace files are created before
+// any experiment runs, so a bad path errors immediately instead of after
+// minutes of simulation. The full suite as the experiment list proves the
+// point: it would take far longer than the test timeout if it actually ran.
+func TestRunBadOutputPathsFailFast(t *testing.T) {
+	bad := filepath.Join(t.TempDir(), "no-such-dir", "out.json")
+	if err := run([]string{"all"}, options{platform: "both", seed: 1, jsonPath: bad}, io.Discard); err == nil {
+		t.Fatal("bad -json path accepted")
+	}
+	if err := run([]string{"all"}, options{platform: "both", seed: 1, tracePath: bad}, io.Discard); err == nil {
+		t.Fatal("bad -trace path accepted")
+	}
+}
+
+func TestRunTraceFilterRequiresTrace(t *testing.T) {
+	if err := run([]string{"fig1"}, options{platform: "skylake", seed: 1, quick: true, traceFilter: "channel"}, io.Discard); err == nil {
+		t.Fatal("-trace-filter without -trace accepted")
+	}
+}
+
+func TestRunBadTraceFilter(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "t.json")
+	opt := options{platform: "skylake", seed: 1, quick: true, tracePath: path, traceFilter: "channel,bogus"}
+	if err := run([]string{"fig1"}, opt, io.Discard); err == nil {
+		t.Fatal("unknown -trace-filter package accepted")
+	}
+}
+
+// TestRunTraceExport runs a traced experiment end to end through the CLI
+// path: the Chrome export must be valid trace-event JSON, the JSONL export
+// one object per line, and the report must carry the event-count summary.
+func TestRunTraceExport(t *testing.T) {
+	dir := t.TempDir()
+	chromePath := filepath.Join(dir, "trace.json")
+	var report bytes.Buffer
+	opt := options{platform: "skylake", seed: 42, quick: true, jobs: 2, tracePath: chromePath, traceFilter: "channel,sim"}
+	if err := run([]string{"fig7"}, opt, &report); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(chromePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("Chrome trace is not valid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("Chrome trace has no events")
+	}
+	if !bytes.Contains(report.Bytes(), []byte("trace: fig7")) {
+		t.Fatalf("report lacks the per-experiment trace summary:\n%s", report.String())
+	}
+
+	jsonlPath := filepath.Join(dir, "trace.jsonl")
+	opt.tracePath = jsonlPath
+	if err := run([]string{"fig7"}, opt, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	raw, err = os.ReadFile(jsonlPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := bytes.Split(bytes.TrimSpace(raw), []byte("\n"))
+	if len(lines) < 2 {
+		t.Fatalf("JSONL export has %d lines", len(lines))
+	}
+	for i, ln := range lines {
+		var obj map[string]any
+		if err := json.Unmarshal(ln, &obj); err != nil {
+			t.Fatalf("JSONL line %d invalid: %v", i+1, err)
+		}
+	}
+}
+
+// TestFailedRunRemovesOutputFiles: output files are pre-created for the
+// fail-fast check, but a failed run must not leave them behind.
+func TestFailedRunRemovesOutputFiles(t *testing.T) {
+	dir := t.TempDir()
+	jsonPath := filepath.Join(dir, "m.json")
+	tracePath := filepath.Join(dir, "t.json")
+	opt := options{platform: "skylake", seed: 1, quick: true, jsonPath: jsonPath, tracePath: tracePath}
+	if err := run([]string{"fig1", "not-an-experiment"}, opt, io.Discard); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+	for _, p := range []string{jsonPath, tracePath} {
+		if _, err := os.Stat(p); !os.IsNotExist(err) {
+			t.Errorf("failed run left %s behind (stat err: %v)", p, err)
+		}
+	}
+}

@@ -209,6 +209,12 @@ func (c *Cache) Invalidate(setIdx int, la mem.LineAddr) (present, dirty bool) {
 	return true, dirty
 }
 
+// AgeOf returns the replacement-policy metadata value (age/rank) of one
+// way, for tracing. It does not mutate policy state.
+func (c *Cache) AgeOf(setIdx, way int) int {
+	return c.sets[setIdx].state.Snapshot()[way]
+}
+
 // View returns a copy of the set's lines plus the policy snapshot, for
 // tracing and assertions. The two slices are index-aligned.
 type View struct {

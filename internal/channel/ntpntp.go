@@ -3,7 +3,43 @@ package channel
 import (
 	"leakyway/internal/core"
 	"leakyway/internal/sim"
+	"leakyway/internal/trace"
 )
+
+// bit01 renders a decoded bit for trace events.
+func bit01(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// emitTxBit and emitRxBit are the channel-layer slot events the
+// diagnostics report keys on: tx-bit marks what the sender encoded in a
+// slot; rx-bit carries the receiver's measured latency, the slot length
+// and the decision threshold.
+func emitTxBit(c *sim.Core, slot int, bit bool) {
+	tr := c.Tracer()
+	if !tr.On(trace.PkgChannel) {
+		return
+	}
+	e := trace.E("channel", "tx-bit", c.Now())
+	e.Agent, e.Core = c.AgentName(), c.ID
+	e.Slot, e.Bit = slot, bit01(bit)
+	tr.Emit(e)
+}
+
+func emitRxBit(c *sim.Core, at int64, slot int, bit bool, lat, slotLen, threshold int64) {
+	tr := c.Tracer()
+	if !tr.On(trace.PkgChannel) {
+		return
+	}
+	e := trace.E("channel", "rx-bit", at)
+	e.Agent, e.Core = c.AgentName(), c.ID
+	e.Slot, e.Bit = slot, bit01(bit)
+	e.Lat, e.Dur, e.Val = lat, slotLen, threshold
+	tr.Emit(e)
+}
 
 // RunNTPNTP transmits msg over the NTP+NTP channel (Algorithm 1) and
 // returns the report plus the bits the receiver decoded.
@@ -44,6 +80,7 @@ func RunNTPNTPOn(m *sim.Machine, cfg Config, ep *Endpoints, msg []bool) (Report,
 	m.Spawn("sender", 0, ep.SenderAS, func(c *sim.Core) {
 		for i := 0; i < n; i++ {
 			c.WaitUntil(cfg.Start + int64(i)*interval + cfg.SenderOffset)
+			emitTxBit(c, i, msg[i])
 			if msg[i] {
 				c.PrefetchNTA(ep.DS[i%sets])
 			}
@@ -74,8 +111,10 @@ func RunNTPNTPOn(m *sim.Machine, cfg Config, ep *Endpoints, msg []bool) (Report,
 		}
 		for i := 0; i < n; i++ {
 			c.WaitUntil(cfg.Start + (int64(i)+delay)*interval + cfg.ReceiverOffset)
+			probeAt := c.Now()
 			t := c.TimedPrefetchNTA(ep.DR[i%sets])
 			received[i] = th.IsMiss(t)
+			emitRxBit(c, probeAt, i, received[i], t, interval, th.MissThreshold)
 			c.Spin(cfg.ProtocolOverhead)
 		}
 	})

@@ -30,8 +30,11 @@ func RunPrimeProbe(m *sim.Machine, cfg Config, msg []bool) (Report, []bool) {
 		for it := 0; it*sets < n; it++ {
 			c.WaitUntil(cfg.Start + int64(it)*interval + cfg.SenderOffset)
 			for s := 0; s < sets; s++ {
-				if i := it*sets + s; i < n && msg[i] {
-					c.Load(ep.DS[s])
+				if i := it*sets + s; i < n {
+					emitTxBit(c, i, msg[i])
+					if msg[i] {
+						c.Load(ep.DS[s])
+					}
 				}
 			}
 			c.Spin(cfg.ProtocolOverhead)
@@ -67,11 +70,13 @@ func RunPrimeProbe(m *sim.Machine, cfg Config, msg []bool) (Report, []bool) {
 					break
 				}
 				// Probe: timed walk.
+				probeAt := c.Now()
 				var sum int64
 				for _, va := range ep.REv[s] {
 					sum += c.TimedLoad(va)
 				}
 				received[i] = sum > clean[s]
+				emitRxBit(c, probeAt, i, received[i], sum, interval, clean[s])
 				// Re-prime: untimed refresh walks.
 				for w := 0; w < walks-1; w++ {
 					for _, va := range ep.REv[s] {

@@ -6,6 +6,7 @@ import (
 
 	"leakyway/internal/hier"
 	"leakyway/internal/sim"
+	"leakyway/internal/trace"
 )
 
 // Runner is a channel implementation: NTP+NTP or Prime+Probe.
@@ -48,16 +49,32 @@ func Sweep(platform hier.Config, run Runner, base Config, intervals []int64, bit
 // sweep is embarrassingly parallel and its result is identical to the
 // serial Sweep's for any schedule.
 func SweepPar(platform hier.Config, run Runner, base Config, intervals []int64, bits int, seed int64, pf ParallelFor) SweepResult {
+	return SweepTraced(platform, run, base, intervals, bits, seed, pf, nil)
+}
+
+// SweepTraced is SweepPar with an optional per-point tracer factory: tf(i)
+// returns the tracer attached to point i's machine (nil to leave the point
+// untraced). The factory is called before the points fan out, so tracer
+// registration order — and therefore the trace output — is independent of
+// the parallel schedule.
+func SweepTraced(platform hier.Config, run Runner, base Config, intervals []int64, bits int, seed int64, pf ParallelFor, tf func(i int) *trace.Tracer) SweepResult {
 	if bits <= 0 {
 		panic(fmt.Errorf("channel: sweep bit count must be positive, got %d", bits))
 	}
 	if len(intervals) == 0 {
 		panic(fmt.Errorf("channel: sweep needs at least one interval"))
 	}
+	tracers := make([]*trace.Tracer, len(intervals))
+	if tf != nil {
+		for i := range intervals {
+			tracers[i] = tf(i)
+		}
+	}
 	msg := RandomMessage(bits, seed)
 	points := make([]Report, len(intervals))
 	body := func(i int) {
 		m := sim.MustNewMachine(platform, 1<<30, seed)
+		m.SetTracer(tracers[i])
 		cfg := base
 		cfg.Interval = intervals[i]
 		points[i], _ = run(m, cfg, msg)

@@ -6,6 +6,7 @@ import (
 	"leakyway/internal/core"
 	"leakyway/internal/mem"
 	"leakyway/internal/sim"
+	"leakyway/internal/trace"
 )
 
 // Reliable ARQ transport over the self-synchronizing NTP+NTP channel.
@@ -187,6 +188,20 @@ func SetupDuplex(m *sim.Machine) (*DuplexEndpoints, error) {
 		return nil, err
 	}
 	return dx, nil
+}
+
+// emitFrame records an ARQ protocol event on the emitting agent's channel
+// track; slot carries the frame sequence index (-1 when n/a), val and note
+// are kind-specific.
+func emitFrame(c *sim.Core, kind string, slot int, val int64, note string) {
+	tr := c.Tracer()
+	if !tr.On(trace.PkgChannel) {
+		return
+	}
+	e := trace.E("channel", kind, c.Now())
+	e.Agent, e.Core = c.AgentName(), c.ID
+	e.Slot, e.Val, e.Note = slot, val, note
+	tr.Emit(e)
 }
 
 var arqDebug = false
@@ -483,6 +498,7 @@ func RunARQOn(m *sim.Machine, tcfg TransportConfig, dx *DuplexEndpoints, payload
 				wire := EncodeFrame(fr, mode)
 				t = max(t, c.Now()+2*interval)
 				dbg(c, "S: tx frame %d attempt %d mode=%v interval=%d at %d", fi, attempt, mode, interval, t)
+				emitFrame(c, "frame-tx", fi, int64(attempt), fmt.Sprintf("%v", mode))
 				txBurst(c, dx.Fwd.DS, t, interval, cfg.ProtocolOverhead, wire)
 				// Listen for the ACK: the receiver turns around within a
 				// few slots of the burst's end. The receiver acks at the
@@ -512,6 +528,13 @@ func RunARQOn(m *sim.Machine, tcfg TransportConfig, dx *DuplexEndpoints, payload
 				} else {
 					dbg(c, "S: ack timeout frame %d", fi)
 					rep.AckTimeouts++
+					emitFrame(c, "ack-timeout", fi, 0, "")
+				}
+				switch {
+				case good:
+					emitFrame(c, "ack-ok", fi, 0, "")
+				case nacked:
+					emitFrame(c, "ack-nack", fi, 0, "")
 				}
 				// Adaptive recalibration: on an FER spike, degrade raw →
 				// Hamming first, then stretch the slot length (the
@@ -525,8 +548,10 @@ func RunARQOn(m *sim.Machine, tcfg TransportConfig, dx *DuplexEndpoints, payload
 						rep.SenderRecals++
 						if mode == CodingRaw {
 							mode = CodingHamming
+							emitFrame(c, "degrade-coding", fi, 0, fmt.Sprintf("%v", mode))
 						} else if interval < cfg.Interval*2 {
 							interval = min(interval*5/4, cfg.Interval*2)
+							emitFrame(c, "degrade-slot", fi, interval, "")
 						}
 					}
 					recent, recentFail = 0, 0
@@ -580,6 +605,7 @@ func RunARQOn(m *sim.Machine, tcfg TransportConfig, dx *DuplexEndpoints, payload
 			fr, _, err := DecodeFrame(bits)
 			dbg(c, "R: frame rx len=%d seq=%d err=%v est=%d (expect %d)", len(bits), fr.Seq, err, dataRx.est, expected%SeqModulus)
 			if err != nil {
+				emitFrame(c, "frame-rx", -1, 0, "crc-error")
 				// Receiver-side recalibration: repeated garble means the
 				// threshold or the lane state has gone stale.
 				consecFail++
@@ -588,6 +614,7 @@ func RunARQOn(m *sim.Machine, tcfg TransportConfig, dx *DuplexEndpoints, payload
 					dataRx.hardReprime(c)
 					dataRx.est = cfg.Interval
 					rep.ReceiverRecals++
+					emitFrame(c, "recalibrate", -1, dataRx.th.MissThreshold, "")
 					consecFail = 0
 				}
 				sendAck(uint8(expected%SeqModulus), false)
@@ -595,6 +622,7 @@ func RunARQOn(m *sim.Machine, tcfg TransportConfig, dx *DuplexEndpoints, payload
 			}
 			consecFail = 0
 			if int(fr.Seq) == expected%SeqModulus {
+				emitFrame(c, "frame-rx", int(fr.Seq), 0, "crc-ok")
 				recvBits = append(recvBits, fr.Payload...)
 				sendAck(fr.Seq, true)
 				expected++
@@ -604,6 +632,7 @@ func RunARQOn(m *sim.Machine, tcfg TransportConfig, dx *DuplexEndpoints, payload
 				}
 			} else {
 				// A duplicate: its ACK was lost. Re-ACK, don't deliver.
+				emitFrame(c, "frame-rx", int(fr.Seq), 0, "duplicate")
 				sendAck(fr.Seq, true)
 			}
 		}

@@ -9,6 +9,7 @@ package core
 import (
 	"leakyway/internal/mem"
 	"leakyway/internal/sim"
+	"leakyway/internal/trace"
 )
 
 // Thresholds are the calibrated timing cut-offs an attacker derives before
@@ -48,10 +49,17 @@ func Calibrate(c *sim.Core, samples int) Thresholds {
 	// The LLC-hit tier sits between the two; the midpoint classifies all
 	// three correctly (L1 ≈ 70, LLC ≈ 95, DRAM ≈ 210+ on the Skylake
 	// calibration).
-	return Thresholds{
+	th := Thresholds{
 		MissThreshold: (maxL1 + minMiss) / 2,
 		L1Threshold:   maxL1 + 5,
 	}
+	if tr := c.Tracer(); tr.On(trace.PkgChannel) {
+		e := trace.E("channel", "calibrate", c.Now())
+		e.Agent, e.Core = c.AgentName(), c.ID
+		e.Lat, e.Val = th.MissThreshold, th.L1Threshold
+		tr.Emit(e)
+	}
+	return th
 }
 
 // IsMiss classifies a timed load/prefetch as a DRAM access.

@@ -7,6 +7,7 @@ import (
 	"leakyway/internal/core"
 	"leakyway/internal/hier"
 	"leakyway/internal/sim"
+	"leakyway/internal/trace"
 )
 
 func init() {
@@ -40,6 +41,7 @@ func runFig6(ctx *Context) (*Result, error) {
 	res := &Result{}
 	cfg := ctx.Platforms[0]
 	m := sim.MustNewMachine(cfg, 1<<30, ctx.Seed)
+	m.SetTracer(ctx.Tracer(shortName(cfg)))
 	ep, err := channel.Setup(m, 1, 0)
 	if err != nil {
 		return nil, err
@@ -97,6 +99,7 @@ func runFig7(ctx *Context) (*Result, error) {
 	ccfg.NoisePeriod = 0
 	msg := []bool{true, false, true, true, false, true, false, false}
 	m := sim.MustNewMachine(cfg, 1<<30, ctx.Seed)
+	m.SetTracer(ctx.Tracer(shortName(cfg)))
 	rep, recv := channel.RunNTPNTP(m, ccfg, msg)
 
 	ctx.Printf("two-set schedule: sender transmits bit i on set i%%2 at iteration i;\n")
@@ -138,8 +141,19 @@ func runFig8(ctx *Context) (*Result, error) {
 	bits := ctx.Trials(2000)
 	err := ctx.EachPlatform(func(sub *Context, cfg hier.Config) error {
 		base := channel.DefaultConfig(cfg.Name, cfg.FreqGHz)
-		ntp := channel.SweepPar(cfg, channel.RunNTPNTP, base, ntpIntervals(), bits, sub.SeedFor("ntpntp"), sub.Parallel)
-		pp := channel.SweepPar(cfg, channel.RunPrimeProbe, base, ppIntervals(), bits, sub.SeedFor("primeprobe"), sub.Parallel)
+		// Per-sweep-point trace labels: interval values are part of the
+		// label so streams sort (and export) independently of scheduling.
+		tf := func(name string, ivs []int64) func(i int) *trace.Tracer {
+			if sub.Trace == nil {
+				return nil
+			}
+			return func(i int) *trace.Tracer {
+				return sub.Tracer(name, fmt.Sprintf("interval-%05d", ivs[i]))
+			}
+		}
+		ntpIvs, ppIvs := ntpIntervals(), ppIntervals()
+		ntp := channel.SweepTraced(cfg, channel.RunNTPNTP, base, ntpIvs, bits, sub.SeedFor("ntpntp"), sub.Parallel, tf("ntpntp", ntpIvs))
+		pp := channel.SweepTraced(cfg, channel.RunPrimeProbe, base, ppIvs, bits, sub.SeedFor("primeprobe"), sub.Parallel, tf("primeprobe", ppIvs))
 		for _, sw := range []channel.SweepResult{ntp, pp} {
 			sub.Printf("\n%s — %s\n", sw.Channel, sw.Platform)
 			rows := [][]string{}

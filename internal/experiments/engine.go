@@ -53,7 +53,7 @@ func runExperiments(ctx *Context, list []Experiment) (map[string]*Result, error)
 
 	runTask := func(i int) {
 		e := list[i]
-		sub := ctx.child(SplitSeed(ctx.Seed, e.ID), &slots[i].buf)
+		sub := ctx.child(SplitSeed(ctx.Seed, e.ID), &slots[i].buf, e.ID)
 		sub.sem = sem
 		header(sub, e)
 		slots[i].res, slots[i].err = runGuarded(sub, e)
@@ -177,7 +177,7 @@ func (ctx *Context) EachPlatform(fn func(sub *Context, cfg hier.Config) error) e
 	errs := make([]error, n)
 	ctx.Parallel(n, func(i int) {
 		cfg := ctx.Platforms[i]
-		sub := ctx.child(ctx.SeedFor("platform/"+shortName(cfg)), &bufs[i])
+		sub := ctx.child(ctx.SeedFor("platform/"+shortName(cfg)), &bufs[i], "platform/"+shortName(cfg))
 		sub.Platforms = []hier.Config{cfg}
 		errs[i] = fn(sub, cfg)
 	})

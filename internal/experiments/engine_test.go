@@ -153,7 +153,7 @@ func TestParallelRunsEveryShardOnce(t *testing.T) {
 		if jobs > 1 {
 			sem = make(chan struct{}, jobs)
 		}
-		sub := ctx.child(ctx.Seed, io.Discard)
+		sub := ctx.child(ctx.Seed, io.Discard, "")
 		sub.sem = sem
 		const n = 100
 		var counts [n]atomic.Int64

@@ -15,6 +15,7 @@ import (
 
 	"leakyway/internal/hier"
 	"leakyway/internal/platform"
+	"leakyway/internal/trace"
 )
 
 // Context carries the shared run parameters.
@@ -33,6 +34,17 @@ type Context struct {
 	// concurrently plus trial shards inside them). 0 and 1 both mean
 	// serial. Any value produces byte-identical output for a given seed.
 	Jobs int
+
+	// Trace, when non-nil, collects per-machine event streams; TraceMask
+	// selects the recorded subsystems (zero means all). Stream labels are
+	// derived from experiment/platform/point names — never from
+	// scheduling — so a traced run exports byte-identically for any Jobs
+	// value.
+	Trace     *trace.Collector
+	TraceMask trace.Mask
+	// tracePath is the label prefix accumulated through child contexts
+	// ("fig8/platform/skylake").
+	tracePath string
 
 	// mu serializes writes to Out. The engine gives every task a private
 	// buffer, so under RunAll this is never contended; it exists so that
@@ -55,17 +67,51 @@ func NewContext(out io.Writer) *Context {
 }
 
 // child clones the run parameters into a task context with its own seed
-// and output sink. The worker-token bucket is shared so nested
-// parallelism stays under the global -jobs cap.
-func (ctx *Context) child(seed int64, out io.Writer) *Context {
+// and output sink, appending label to the trace-stream path. The
+// worker-token bucket is shared so nested parallelism stays under the
+// global -jobs cap.
+func (ctx *Context) child(seed int64, out io.Writer, label string) *Context {
 	return &Context{
 		Platforms: ctx.Platforms,
 		Seed:      seed,
 		Quick:     ctx.Quick,
 		Out:       out,
 		Jobs:      ctx.Jobs,
+		Trace:     ctx.Trace,
+		TraceMask: ctx.TraceMask,
+		tracePath: joinLabel(ctx.tracePath, label),
 		sem:       ctx.sem,
 	}
+}
+
+func joinLabel(base, part string) string {
+	if base == "" {
+		return part
+	}
+	if part == "" {
+		return base
+	}
+	return base + "/" + part
+}
+
+// Tracer registers a trace stream labeled with the context's path plus
+// parts and returns its tracer; nil (the disabled no-op sink) when the
+// run is untraced. Every traced machine needs its own label, and labels
+// must be deterministic — derive them from experiment, platform and
+// sweep-point names, never from worker IDs or timing.
+func (ctx *Context) Tracer(parts ...string) *trace.Tracer {
+	if ctx.Trace == nil {
+		return nil
+	}
+	label := ctx.tracePath
+	for _, p := range parts {
+		label = joinLabel(label, p)
+	}
+	mask := ctx.TraceMask
+	if mask == 0 {
+		mask = trace.PkgAll
+	}
+	return ctx.Trace.Tracer(label, mask)
 }
 
 // SeedFor derives the seed for a named sub-task of this context.

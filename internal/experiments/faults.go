@@ -107,6 +107,7 @@ func runFaults(ctx *Context) (*Result, error) {
 		// Raw channel under the scenario.
 		{
 			m := sim.MustNewMachine(cfg, 1<<30, seedv)
+			m.SetTracer(ctx.Tracer(sc.key, "raw"))
 			ep, err := channel.Setup(m, 2, 0)
 			if err != nil {
 				panic(err)
@@ -123,6 +124,7 @@ func runFaults(ctx *Context) (*Result, error) {
 			const depth = 56
 			enc := channel.Interleave(channel.EncodeHamming74(msg), depth)
 			m := sim.MustNewMachine(cfg, 1<<30, seedv)
+			m.SetTracer(ctx.Tracer(sc.key, "hamming"))
 			ep, err := channel.Setup(m, 2, 0)
 			if err != nil {
 				panic(err)
@@ -145,6 +147,7 @@ func runFaults(ctx *Context) (*Result, error) {
 		{
 			payload := channel.RandomMessage(arqBits, seedv+1)
 			m := sim.MustNewMachine(cfg, 1<<30, seedv)
+			m.SetTracer(ctx.Tracer(sc.key, "arq"))
 			dx, err := channel.SetupDuplex(m)
 			if err != nil {
 				panic(err)

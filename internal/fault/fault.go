@@ -21,6 +21,7 @@ import (
 	"leakyway/internal/mem"
 	"leakyway/internal/seed"
 	"leakyway/internal/sim"
+	"leakyway/internal/trace"
 )
 
 // Agent roles a scenario can target.
@@ -76,6 +77,9 @@ type Event struct {
 	Kind     string
 	At       int64
 	Detail   int64
+	// Dur is the disturbance window length in cycles (fired events only;
+	// 0 when the disturbance is instantaneous or unknown).
+	Dur int64
 }
 
 func (e Event) String() string {
@@ -87,18 +91,52 @@ func (e Event) String() string {
 type Log struct {
 	scheduled []Event
 	fired     []Event
+	tr        *trace.Tracer
 }
 
-// Attach routes the machine's fault notifications into the log. Call it
-// once per machine, before Run.
+// Attach routes the machine's fault notifications into the log (and, when
+// the machine is traced, into its event stream — with the firing resolved
+// back to the scenario that scheduled it). Call it once per machine,
+// before Run.
 func (l *Log) Attach(m *sim.Machine) {
-	m.FaultNotify = func(agent, kind string, at, detail int64) {
-		l.fired = append(l.fired, Event{Agent: agent, Kind: kind, At: at, Detail: detail})
+	l.tr = m.Tracer()
+	m.FaultNotify = func(agent, kind string, at, detail, dur int64) {
+		e := Event{Agent: agent, Kind: kind, At: at, Detail: detail, Dur: dur}
+		e.Scenario = l.scenarioFor(agent, kind, at)
+		l.fired = append(l.fired, e)
+		l.emit(e)
 	}
 }
 
+// scenarioFor resolves a firing to its scheduling scenario. The simulator
+// reports the *scheduled* trigger cycle, so (agent, kind, at) matches the
+// schedule exactly.
+func (l *Log) scenarioFor(agent, kind string, at int64) string {
+	for _, s := range l.scheduled {
+		if s.Agent == agent && s.Kind == kind && s.At == at {
+			return s.Scenario
+		}
+	}
+	return ""
+}
+
+// emit records a fired event in the machine's trace stream.
+func (l *Log) emit(e Event) {
+	if !l.tr.On(trace.PkgFault) {
+		return
+	}
+	te := trace.E("fault", e.Kind, e.At)
+	te.Agent, te.Note = e.Agent, e.Scenario
+	te.Dur, te.Val = e.Dur, e.Detail
+	l.tr.Emit(te)
+}
+
 func (l *Log) schedule(e Event) { l.scheduled = append(l.scheduled, e) }
-func (l *Log) fire(e Event)     { l.fired = append(l.fired, e) }
+
+func (l *Log) fire(e Event) {
+	l.fired = append(l.fired, e)
+	l.emit(e)
+}
 
 // Scheduled returns the scheduled events, sorted by (At, Scenario, Kind)
 // so the view is independent of composition order.

@@ -69,7 +69,7 @@ func (p Pollution) Inject(m *sim.Machine, tgt Target, seedv int64, log *Log) {
 	m.SpawnDaemon("pollution", tgt.SpareCore, tgt.PolluteAS, func(c *sim.Core) {
 		for _, at := range starts {
 			c.WaitUntil(at)
-			log.fire(Event{Scenario: name, Agent: "pollution", Kind: "pollute-burst", At: at, Detail: int64(walks)})
+			begin := c.Now()
 			for w := 0; w < walks; w++ {
 				for _, va := range lines {
 					c.Load(va)
@@ -78,6 +78,9 @@ func (p Pollution) Inject(m *sim.Machine, tgt Target, seedv int64, log *Log) {
 					}
 				}
 			}
+			// Fired once the burst window is known, so diagnostics can
+			// attribute every slot the walk actually overlapped.
+			log.fire(Event{Scenario: name, Agent: "pollution", Kind: "pollute-burst", At: at, Detail: int64(walks), Dur: c.Now() - begin})
 		}
 		for {
 			c.Spin(1 << 20) // park until teardown

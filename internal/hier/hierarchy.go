@@ -7,6 +7,7 @@ import (
 	"leakyway/internal/cache"
 	"leakyway/internal/mem"
 	"leakyway/internal/policy"
+	"leakyway/internal/trace"
 )
 
 // Level identifies where in the hierarchy a request was serviced.
@@ -57,6 +58,12 @@ type Hierarchy struct {
 	dir []*cache.Cache // coherence directory per slice (non-inclusive mode)
 	rng *rand.Rand
 	pf  []*corePrefetcher // per core, nil when disabled
+
+	// tr, when non-nil, receives hier events; trAgent/trCore stamp the
+	// agent context (see trace.go).
+	tr      *trace.Tracer
+	trAgent string
+	trCore  int
 }
 
 // New builds a hierarchy from the config.
@@ -70,9 +77,10 @@ func New(cfg Config) (*Hierarchy, error) {
 		return nil, err
 	}
 	h := &Hierarchy{
-		cfg: cfg,
-		geo: geo,
-		rng: rand.New(rand.NewSource(cfg.Seed ^ 0x1ea11e57)),
+		cfg:    cfg,
+		geo:    geo,
+		rng:    rand.New(rand.NewSource(cfg.Seed ^ 0x1ea11e57)),
+		trCore: -1,
 	}
 	for c := 0; c < cfg.Cores; c++ {
 		h.l1 = append(h.l1, cache.New(cache.Config{
@@ -136,7 +144,7 @@ func (h *Hierarchy) Load(core int, pa mem.PAddr, now int64) Result {
 
 	// L1 hit: private hit, no LLC state change (the property Prime+Scope
 	// depends on: scoping the candidate from L1 leaves its LLC age alone).
-	if h.l1[core].Lookup(h.l1Set(la), la, policy.ClassLoad) {
+	if h.lookupTraced(h.l1[core], LevelL1, -1, h.l1Set(la), la, policy.ClassLoad, now) {
 		return Result{Level: LevelL1, Latency: sample(h.rng, lat.L1Hit, lat.L1Jit)}
 	}
 	h.hwPrefetch(core, la, now)
@@ -145,7 +153,7 @@ func (h *Hierarchy) Load(core int, pa mem.PAddr, now int64) Result {
 	// still no LLC change.
 	if w, ok := h.l2[core].Probe(h.l2Set(la), la); ok {
 		st := h.l2[core].Coh(h.l2Set(la), w)
-		h.l2[core].Lookup(h.l2Set(la), la, policy.ClassLoad)
+		h.lookupTraced(h.l2[core], LevelL2, -1, h.l2Set(la), la, policy.ClassLoad, now)
 		l := sample(h.rng, lat.L2Hit, lat.L2Jit)
 		h.fillL1(core, la, policy.ClassLoad, now, now+l)
 		h.setPrivCoh(core, la, st)
@@ -164,7 +172,7 @@ func (h *Hierarchy) Load(core int, pa mem.PAddr, now int64) Result {
 	// LLC hit: demand hit updates the line's age (decrement), refills the
 	// private levels.
 	slice, set := h.geo.Locate(la)
-	if h.llc[slice].Lookup(set, la, policy.ClassLoad) {
+	if h.lookupTraced(h.llc[slice], LevelLLC, slice, set, la, policy.ClassLoad, now) {
 		l := sample(h.rng, lat.LLCHit, lat.LLCJit) + extra
 		h.fillL2(core, la, policy.ClassLoad, now, now+l)
 		h.fillL1(core, la, policy.ClassLoad, now, now+l)
@@ -192,7 +200,18 @@ func (h *Hierarchy) Store(core int, pa mem.PAddr, now int64) Result {
 	la := pa.Line()
 	if w, ok := h.l1[core].Probe(h.l1Set(la), la); ok {
 		st := h.l1[core].Coh(h.l1Set(la), w)
+		traced := h.tr.On(trace.PkgHier)
+		ageBefore := -1
+		if traced {
+			ageBefore = h.l1[core].AgeOf(h.l1Set(la), w)
+		}
 		h.l1[core].Touch(h.l1Set(la), w, policy.ClassLoad)
+		if traced {
+			e := h.hierEvent("hit", LevelL1, -1, h.l1Set(la), now)
+			e.Way, e.AgeBefore, e.AgeAfter = w, ageBefore, h.l1[core].AgeOf(h.l1Set(la), w)
+			e.Addr, e.Note = uint64(la), "store"
+			h.tr.Emit(e)
+		}
 		l := sample(h.rng, h.cfg.Lat.L1Hit, h.cfg.Lat.L1Jit)
 		if st == cache.CohShared {
 			l += h.invalidateRemote(core, la)
@@ -220,16 +239,16 @@ func (h *Hierarchy) PrefetchNTA(core int, pa mem.PAddr, now int64) Result {
 	la := pa.Line()
 	lat := &h.cfg.Lat
 
-	if h.l1[core].Lookup(h.l1Set(la), la, policy.ClassNTA) {
+	if h.lookupTraced(h.l1[core], LevelL1, -1, h.l1Set(la), la, policy.ClassNTA, now) {
 		return Result{Level: LevelL1, Latency: sample(h.rng, lat.L1Hit, lat.L1Jit)}
 	}
-	if h.l2[core].Lookup(h.l2Set(la), la, policy.ClassNTA) {
+	if h.lookupTraced(h.l2[core], LevelL2, -1, h.l2Set(la), la, policy.ClassNTA, now) {
 		l := sample(h.rng, lat.L2Hit, lat.L2Jit)
 		h.fillL1(core, la, policy.ClassNTA, now, now+l)
 		return Result{Level: LevelL2, Latency: l}
 	}
 	slice, set := h.geo.Locate(la)
-	if h.llc[slice].Lookup(set, la, policy.ClassNTA) {
+	if h.lookupTraced(h.llc[slice], LevelLLC, slice, set, la, policy.ClassNTA, now) {
 		// ClassNTA hit: QuadAge leaves the age untouched (Property #2).
 		l := sample(h.rng, lat.LLCHit, lat.LLCJit)
 		h.fillL1(core, la, policy.ClassNTA, now, now+l)
@@ -258,16 +277,16 @@ func (h *Hierarchy) PrefetchT0(core int, pa mem.PAddr, now int64) Result {
 	h.checkCore(core)
 	la := pa.Line()
 	lat := &h.cfg.Lat
-	if h.l1[core].Lookup(h.l1Set(la), la, policy.ClassT0) {
+	if h.lookupTraced(h.l1[core], LevelL1, -1, h.l1Set(la), la, policy.ClassT0, now) {
 		return Result{Level: LevelL1, Latency: sample(h.rng, lat.L1Hit, lat.L1Jit)}
 	}
-	if h.l2[core].Lookup(h.l2Set(la), la, policy.ClassT0) {
+	if h.lookupTraced(h.l2[core], LevelL2, -1, h.l2Set(la), la, policy.ClassT0, now) {
 		l := sample(h.rng, lat.L2Hit, lat.L2Jit)
 		h.fillL1(core, la, policy.ClassT0, now, now+l)
 		return Result{Level: LevelL2, Latency: l}
 	}
 	slice, set := h.geo.Locate(la)
-	if h.llc[slice].Lookup(set, la, policy.ClassT0) {
+	if h.lookupTraced(h.llc[slice], LevelLLC, slice, set, la, policy.ClassT0, now) {
 		l := sample(h.rng, lat.LLCHit, lat.LLCJit)
 		h.fillL2(core, la, policy.ClassT0, now, now+l)
 		h.fillL1(core, la, policy.ClassT0, now, now+l)
@@ -312,6 +331,19 @@ func (h *Hierarchy) Flush(pa mem.PAddr, now int64) Result {
 		base = lat.FlushPresent
 		level = LevelLLC
 	}
+	if h.tr.On(trace.PkgHier) {
+		e := h.hierEvent("flush", LevelLLC, slice, set, now)
+		e.Addr = uint64(la)
+		switch {
+		case dirty:
+			e.Note = "dirty"
+		case present:
+			e.Note = "present"
+		default:
+			e.Note = "absent"
+		}
+		h.tr.Emit(e)
+	}
 	return Result{Level: level, Latency: sample(h.rng, base, lat.FlushJit)}
 }
 
@@ -322,7 +354,9 @@ func (h *Hierarchy) FenceLatency() int64 { return h.cfg.Lat.Fence }
 // propagates its dirtiness to an L2/LLC copy when present). The coherence
 // directory, when present, tracks the fill.
 func (h *Hierarchy) fillL1(core int, la mem.LineAddr, cls policy.AccessClass, now, ready int64) {
+	meta := h.fillMeta(h.l1[core], h.l1Set(la))
 	ev, evicted, _ := h.l1[core].Fill(h.l1Set(la), la, cls, now, ready)
+	h.traceFill(h.l1[core], LevelL1, -1, h.l1Set(la), la, ev, evicted, true, meta, now)
 	if evicted && ev.Dirty {
 		h.propagateDirty(core, ev.Addr)
 	}
@@ -332,7 +366,9 @@ func (h *Hierarchy) fillL1(core int, la mem.LineAddr, cls policy.AccessClass, no
 // fillL2 installs la into core's L2 (non-inclusive: evictions do not touch
 // the L1).
 func (h *Hierarchy) fillL2(core int, la mem.LineAddr, cls policy.AccessClass, now, ready int64) {
+	meta := h.fillMeta(h.l2[core], h.l2Set(la))
 	ev, evicted, _ := h.l2[core].Fill(h.l2Set(la), la, cls, now, ready)
+	h.traceFill(h.l2[core], LevelL2, -1, h.l2Set(la), la, ev, evicted, true, meta, now)
 	if evicted && ev.Dirty {
 		h.propagateDirty(core, ev.Addr)
 	}
@@ -362,12 +398,14 @@ func (h *Hierarchy) fillLLC(core int, la mem.LineAddr, cls policy.AccessClass, n
 		lo, hi := core*n, (core+1)*n
 		allowed = func(way int) bool { return way >= lo && way < hi }
 	}
+	meta := h.fillMeta(h.llc[slice], set)
 	ev, evicted, ok := h.llc[slice].FillRestricted(set, la, cls, now, ready, allowed)
+	h.traceFill(h.llc[slice], LevelLLC, slice, set, la, ev, evicted, ok, meta, now)
 	if !ok {
 		return false
 	}
 	if evicted {
-		h.backInvalidate(ev.Addr)
+		h.backInvalidate(ev.Addr, now)
 	}
 	return true
 }
@@ -376,12 +414,26 @@ func (h *Hierarchy) fillLLC(core int, la mem.LineAddr, cls policy.AccessClass, n
 // core's private caches — the mechanism that makes cross-core LLC attacks
 // observable at all. Non-inclusive LLCs skip it: private copies outlive the
 // LLC line.
-func (h *Hierarchy) backInvalidate(la mem.LineAddr) {
+func (h *Hierarchy) backInvalidate(la mem.LineAddr, now int64) {
 	if h.cfg.NonInclusive {
 		return
 	}
+	traced := h.tr.On(trace.PkgHier)
 	for c := 0; c < h.cfg.Cores; c++ {
-		h.l1[c].Invalidate(h.l1Set(la), la)
-		h.l2[c].Invalidate(h.l2Set(la), la)
+		p1, _ := h.l1[c].Invalidate(h.l1Set(la), la)
+		p2, _ := h.l2[c].Invalidate(h.l2Set(la), la)
+		if !traced {
+			continue
+		}
+		if p1 {
+			e := h.hierEvent("back-inval", LevelL1, -1, h.l1Set(la), now)
+			e.Core, e.Addr = c, uint64(la)
+			h.tr.Emit(e)
+		}
+		if p2 {
+			e := h.hierEvent("back-inval", LevelL2, -1, h.l2Set(la), now)
+			e.Core, e.Addr = c, uint64(la)
+			h.tr.Emit(e)
+		}
 	}
 }

@@ -1,0 +1,82 @@
+package hier
+
+import (
+	"testing"
+
+	"leakyway/internal/cache"
+	"leakyway/internal/mem"
+)
+
+// multiSliceConfig is testConfig with a sliced LLC, so per-slice counters
+// actually diverge.
+func multiSliceConfig() Config {
+	cfg := testConfig()
+	cfg.LLCSlices = 4
+	return cfg
+}
+
+func sumStats(a, b cache.Stats) cache.Stats {
+	a.Hits += b.Hits
+	a.Misses += b.Misses
+	a.Evictions += b.Evictions
+	a.Fills += b.Fills
+	a.Flushes += b.Flushes
+	return a
+}
+
+// TestLLCSliceStatsSumToTotal drives traffic across many slices and checks
+// that the per-slice counters are a partition of the aggregate LLCStats:
+// every event lands in exactly one slice.
+func TestLLCSliceStatsSumToTotal(t *testing.T) {
+	h := MustNew(multiSliceConfig())
+	now := int64(0)
+	// Loads spread over enough lines to hash across all slices and to
+	// force LLC evictions, plus flushes so every counter is exercised.
+	for i := 0; i < 4096; i++ {
+		pa := mem.PAddr(uint64(i) * 64)
+		h.Load(i%2, pa, now)
+		now += 10
+	}
+	for i := 4096 - 256; i < 4096; i++ { // recent lines, so they are still cached
+		h.Flush(mem.PAddr(uint64(i)*64), now)
+		now += 10
+	}
+	for i := 0; i < 512; i++ { // re-touch to add hits
+		h.Load(0, mem.PAddr(uint64(4096-1-i)*64), now)
+		now += 10
+	}
+
+	var summed cache.Stats
+	perSlice := make([]cache.Stats, h.LLCSlices())
+	for s := 0; s < h.LLCSlices(); s++ {
+		perSlice[s] = h.LLCSliceStats(s)
+		summed = sumStats(summed, perSlice[s])
+	}
+	total := h.LLCStats()
+	if summed != total {
+		t.Fatalf("per-slice sum %+v != LLCStats %+v", summed, total)
+	}
+	if total.Fills == 0 || total.Evictions == 0 || total.Hits == 0 || total.Flushes == 0 {
+		t.Fatalf("test traffic did not exercise all counters: %+v", total)
+	}
+	// The slice hash must actually spread the traffic.
+	busy := 0
+	for _, st := range perSlice {
+		if st.Fills > 0 {
+			busy++
+		}
+	}
+	if busy < 2 {
+		t.Fatalf("traffic hit only %d of %d slices", busy, len(perSlice))
+	}
+}
+
+func TestLLCSliceStatsOutOfRangePanics(t *testing.T) {
+	h := MustNew(multiSliceConfig())
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range slice index did not panic")
+		}
+	}()
+	h.LLCSliceStats(h.LLCSlices())
+}

@@ -157,3 +157,16 @@ func (h *Hierarchy) LLCStats() cache.Stats {
 	}
 	return total
 }
+
+// LLCSlices returns the number of LLC slices.
+func (h *Hierarchy) LLCSlices() int { return len(h.llc) }
+
+// LLCSliceStats returns one slice's counters — the per-slice view the
+// pollution and slice-hash experiments need (LLCStats only exposes the
+// sum across slices).
+func (h *Hierarchy) LLCSliceStats(slice int) cache.Stats {
+	if slice < 0 || slice >= len(h.llc) {
+		panic(fmt.Sprintf("hier: LLC slice %d out of range [0,%d)", slice, len(h.llc)))
+	}
+	return h.llc[slice].Stats()
+}

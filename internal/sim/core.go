@@ -3,6 +3,7 @@ package sim
 import (
 	"leakyway/internal/hier"
 	"leakyway/internal/mem"
+	"leakyway/internal/trace"
 )
 
 // Core is an agent's handle onto its pinned physical core. Every method
@@ -25,6 +26,24 @@ type Core struct {
 // global clock plus any accrued drift skew (zero unless a clock-drift
 // fault is active — see fault.go).
 func (c *Core) Now() int64 { return c.now + c.agent.skew }
+
+// AgentName returns the owning agent's name (for emit sites above sim).
+func (c *Core) AgentName() string { return c.agent.Name }
+
+// Tracer returns the machine's event sink (nil when untraced).
+func (c *Core) Tracer() *trace.Tracer { return c.m.tr }
+
+// emitTimed records a timed measurement as a span starting at the cycle
+// the measured operation began.
+func (c *Core) emitTimed(kind string, start, t int64) {
+	if !c.m.tr.On(trace.PkgSim) {
+		return
+	}
+	e := trace.E("sim", kind, start)
+	e.Agent, e.Core = c.agent.Name, c.ID
+	e.Lat, e.Dur = t, t
+	c.m.tr.Emit(e)
+}
 
 // step performs the scheduling handshake and advances the local clock,
 // applying any scheduled disturbances that have come due.
@@ -92,6 +111,7 @@ func (c *Core) timed(lat int64) int64 {
 func (c *Core) TimedLoad(va mem.VAddr) int64 {
 	res := c.m.H.Load(c.ID, c.AS.MustTranslate(va), c.now)
 	t := c.timed(res.Latency)
+	c.emitTimed("timed-load", c.now, t)
 	c.step(t)
 	return t
 }
@@ -101,6 +121,7 @@ func (c *Core) TimedLoad(va mem.VAddr) int64 {
 func (c *Core) TimedPrefetchNTA(va mem.VAddr) int64 {
 	res := c.m.H.PrefetchNTA(c.ID, c.AS.MustTranslate(va), c.now)
 	t := c.timed(res.Latency)
+	c.emitTimed("timed-nta", c.now, t)
 	c.step(t)
 	return t
 }
@@ -109,6 +130,7 @@ func (c *Core) TimedPrefetchNTA(va mem.VAddr) int64 {
 func (c *Core) TimedFlush(va mem.VAddr) int64 {
 	res := c.m.H.Flush(c.AS.MustTranslate(va), c.now)
 	t := c.timed(res.Latency)
+	c.emitTimed("timed-flush", c.now, t)
 	c.step(t)
 	return t
 }
@@ -130,6 +152,7 @@ func (c *Core) TimedPrefetchProbe(va mem.VAddr) int64 {
 	}
 	lat := c.m.H.Config().Lat
 	t := c.timed(lat.PTWalkBase + int64(depth)*lat.PTWalkStep)
+	c.emitTimed("timed-probe", c.now, t)
 	c.step(t)
 	return t
 }
@@ -154,6 +177,11 @@ func (c *Core) WaitUntil(t int64) {
 	}
 	if target < c.now {
 		target = c.now
+	}
+	if waited := target - c.now; waited > 0 && c.m.tr.On(trace.PkgSim) {
+		e := trace.E("sim", "wait", c.now)
+		e.Agent, e.Core, e.Dur = c.agent.Name, c.ID, waited
+		c.m.tr.Emit(e)
 	}
 	c.accrueDrift(target - c.now)
 	c.now = target

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"math/rand"
 	"sort"
+
+	"leakyway/internal/trace"
 )
 
 // Scheduling-level fault hooks. The fault-injection framework (package
@@ -125,10 +127,17 @@ func (m *Machine) syncAgentFaults(name string) {
 	}
 }
 
-// notifyFault reports a fired disturbance to the registered observer.
-func (m *Machine) notifyFault(agent, kind string, at, detail int64) {
+// notifyFault reports a fired disturbance to the registered observer and
+// the tracer. detail is the kind-specific scalar (stall cycles, target
+// core, extra jitter); dur is the disturbance window length in cycles.
+func (m *Machine) notifyFault(agent, kind string, at, detail, dur int64) {
 	if m.FaultNotify != nil {
-		m.FaultNotify(agent, kind, at, detail)
+		m.FaultNotify(agent, kind, at, detail, dur)
+	}
+	if m.tr.On(trace.PkgSim) {
+		e := trace.E("sim", "fault:"+kind, at)
+		e.Agent, e.Dur, e.Val = agent, dur, detail
+		m.tr.Emit(e)
 	}
 }
 
@@ -146,11 +155,16 @@ func (c *Core) applyFaults() {
 		switch d.kind {
 		case FaultPreempt:
 			c.now += d.dur
-			c.m.notifyFault(c.agent.Name, FaultPreempt, d.at, d.dur)
+			c.m.notifyFault(c.agent.Name, FaultPreempt, d.at, d.dur, d.dur)
 		case FaultMigrate:
 			c.ID = d.core
 			c.now += d.dur
-			c.m.notifyFault(c.agent.Name, FaultMigrate, d.at, int64(d.core))
+			if c.m.tr != nil {
+				// Re-stamp: subsequent hier events in this turn belong to
+				// the destination core.
+				c.m.H.SetTraceAgent(c.agent.Name, c.ID)
+			}
+			c.m.notifyFault(c.agent.Name, FaultMigrate, d.at, int64(d.core), d.dur)
 		}
 	}
 }
@@ -179,7 +193,7 @@ func (c *Core) spikeJitter() int64 {
 		if c.now >= w.from && c.now < w.to {
 			if !w.fired {
 				w.fired = true
-				c.m.notifyFault(c.agent.Name, FaultTimerSpike, w.from, w.extra)
+				c.m.notifyFault(c.agent.Name, FaultTimerSpike, w.from, w.extra, w.to-w.from)
 			}
 			return w.rng.Int63n(w.extra + 1)
 		}

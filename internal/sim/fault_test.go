@@ -65,7 +65,7 @@ func TestSchedulePreemptStallsAgent(t *testing.T) {
 	m := newTestMachine(33)
 	m.SyncSlack = 0
 	var fired []string
-	m.FaultNotify = func(agent, kind string, at, detail int64) {
+	m.FaultNotify = func(agent, kind string, at, detail, dur int64) {
 		fired = append(fired, agent+"/"+kind)
 	}
 	m.SchedulePreempt("victim", 1000, 5000) // staged before spawn
@@ -141,7 +141,7 @@ func TestTimerSpikeAddsJitterInWindow(t *testing.T) {
 	m := MustNewMachine(cfg, 1<<24, 36)
 	m.ScheduleTimerSpike("meas", 1000, 100_000, 500, 777)
 	spikes := 0
-	m.FaultNotify = func(agent, kind string, at, detail int64) {
+	m.FaultNotify = func(agent, kind string, at, detail, dur int64) {
 		if kind == FaultTimerSpike {
 			spikes++
 		}

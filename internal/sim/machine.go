@@ -14,6 +14,7 @@ import (
 
 	"leakyway/internal/hier"
 	"leakyway/internal/mem"
+	"leakyway/internal/trace"
 )
 
 // errKilled is panicked inside daemon agents when the machine shuts down;
@@ -42,8 +43,23 @@ type Machine struct {
 	// faults holds scheduled disturbances keyed by agent name; see
 	// fault.go. FaultNotify, when set, observes each disturbance firing.
 	faults      map[string]*agentFaults
-	FaultNotify func(agent, kind string, at, detail int64)
+	FaultNotify func(agent, kind string, at, detail, dur int64)
+
+	// tr, when non-nil, receives sim events and is shared with the
+	// hierarchy; see SetTracer.
+	tr *trace.Tracer
 }
+
+// SetTracer attaches an event sink to the machine and its hierarchy. The
+// machine resumes exactly one agent at a time, so a single tracer per
+// machine is race-free and its stream is a pure function of the seed.
+func (m *Machine) SetTracer(t *trace.Tracer) {
+	m.tr = t
+	m.H.SetTracer(t)
+}
+
+// Tracer returns the attached event sink (nil when untraced).
+func (m *Machine) Tracer() *trace.Tracer { return m.tr }
 
 // NewMachine builds a machine for the given platform config with a physical
 // memory pool of memBytes. All jitter, frame shuffling and sync slack derive
@@ -134,6 +150,14 @@ func (m *Machine) spawn(name string, coreID int, as *mem.AddressSpace, fn func(*
 	a.core = &Core{m: m, agent: a, ID: coreID, AS: as}
 	a.faults = m.faults[name] // nil unless faults were staged for this name
 	m.agents = append(m.agents, a)
+	if m.tr.On(trace.PkgSim) {
+		e := trace.E("sim", "spawn", 0)
+		e.Agent, e.Core = name, coreID
+		if daemon {
+			e.Note = "daemon"
+		}
+		m.tr.Emit(e)
+	}
 	return a
 }
 
@@ -166,12 +190,22 @@ func (m *Machine) Run() {
 		if a == nil {
 			break
 		}
+		if m.tr != nil {
+			// Stamp the agent context so hier events emitted during this
+			// agent's turn land on its track.
+			m.H.SetTraceAgent(a.Name, a.core.ID)
+		}
 		a.resume <- struct{}{}
 		<-a.yielded
 		if a.done && a.err != nil {
 			m.killAll() // ignore secondary teardown errors; the first panic wins
 			m.agents = nil
 			panic(&AgentError{Agent: a.Name, Value: a.err, Stack: a.stack})
+		}
+		if a.done && a.err == nil && m.tr.On(trace.PkgSim) {
+			e := trace.E("sim", "done", a.core.now)
+			e.Agent, e.Core = a.Name, a.core.ID
+			m.tr.Emit(e)
 		}
 	}
 	err := m.killAll()

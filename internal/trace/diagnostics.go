@@ -1,0 +1,188 @@
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Channel diagnostics: turn one machine's channel + fault events into the
+// report a channel engineer wants when a BER regression appears — the
+// latency "eye" between the two symbol populations, and, for every
+// corrupted bit, which injected fault window overlapped its slot.
+
+// LatStats summarizes one symbol population's latency samples.
+type LatStats struct {
+	Count    int
+	Min, Max int64
+	Mean     float64
+	P50      int64
+}
+
+func latStats(samples []int64) LatStats {
+	s := LatStats{Count: len(samples)}
+	if s.Count == 0 {
+		return s
+	}
+	sorted := append([]int64(nil), samples...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	s.Min, s.Max = sorted[0], sorted[len(sorted)-1]
+	s.P50 = sorted[len(sorted)/2]
+	sum := int64(0)
+	for _, v := range sorted {
+		sum += v
+	}
+	s.Mean = float64(sum) / float64(s.Count)
+	return s
+}
+
+// BitError is one corrupted bit with its attributed cause.
+type BitError struct {
+	Slot      int
+	Sent, Got int
+	At        int64 // receiver's probe cycle
+	// Cause names the fault event whose window overlapped the slot
+	// ("preempt @1203456 (+40000)"), or "unattributed".
+	Cause string
+}
+
+// LaneDiag is the diagnostics of one traced machine's channel lane.
+type LaneDiag struct {
+	Label string
+	// Threshold is the receiver's calibrated miss threshold (from the
+	// latest calibrate event), 0 if never calibrated.
+	Threshold int64
+	// Zero/One are the latency populations of slots decoded as 0 (cache
+	// hit) and 1 (miss). EyeMargin = One.Min - Zero.Max: positive means
+	// the populations separate and the threshold has room; negative
+	// means the eye is closed and errors are inevitable.
+	Zero, One LatStats
+	EyeMargin int64
+	TxBits    int
+	RxBits    int
+	Errors    []BitError
+	// Attributed counts errors matched to a fault window.
+	Attributed int
+}
+
+// faultWindow is a fault occurrence widened into a time interval.
+type faultWindow struct {
+	from, to int64
+	desc     string
+}
+
+// Diagnose builds per-lane diagnostics for every buffer that recorded
+// channel slot samples. Buffers without rx-bit events are skipped.
+func Diagnose(bufs []*Buffer) []LaneDiag {
+	var out []LaneDiag
+	for _, b := range bufs {
+		if d, ok := diagnoseBuffer(b); ok {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+func diagnoseBuffer(b *Buffer) (LaneDiag, bool) {
+	d := LaneDiag{Label: b.label}
+	sent := map[int]Event{}
+	var rx []Event
+	var windows []faultWindow
+	var slotLen int64
+
+	for _, e := range b.events {
+		switch {
+		case e.Pkg == "channel" && e.Kind == "tx-bit":
+			sent[e.Slot] = e
+			d.TxBits++
+		case e.Pkg == "channel" && e.Kind == "rx-bit":
+			rx = append(rx, e)
+			d.RxBits++
+			if e.Dur > slotLen {
+				slotLen = e.Dur
+			}
+		case e.Pkg == "channel" && e.Kind == "calibrate":
+			d.Threshold = e.Lat
+		case e.Pkg == "fault":
+			to := e.Time + e.Dur
+			desc := e.Kind
+			if e.Note != "" {
+				desc = e.Note + "/" + e.Kind
+			}
+			windows = append(windows, faultWindow{
+				from: e.Time,
+				to:   to,
+				desc: fmt.Sprintf("%s @%d (+%d)", desc, e.Time, e.Dur),
+			})
+		}
+	}
+	if len(rx) == 0 {
+		return d, false
+	}
+
+	var zeros, ones []int64
+	for _, e := range rx {
+		if e.Bit == 1 {
+			ones = append(ones, e.Lat)
+		} else {
+			zeros = append(zeros, e.Lat)
+		}
+	}
+	d.Zero, d.One = latStats(zeros), latStats(ones)
+	if d.Zero.Count > 0 && d.One.Count > 0 {
+		d.EyeMargin = d.One.Min - d.Zero.Max
+	}
+
+	// Error attribution: an rx-bit disagreeing with the tx-bit of the
+	// same slot is corrupted; blame the fault window overlapping the
+	// probe (widened by one slot on each side, since a disturbance ending
+	// just before the probe still corrupts the set state it reads).
+	slack := slotLen
+	if slack == 0 {
+		slack = 1
+	}
+	for _, e := range rx {
+		tx, ok := sent[e.Slot]
+		if !ok || tx.Bit == e.Bit {
+			continue
+		}
+		be := BitError{Slot: e.Slot, Sent: tx.Bit, Got: e.Bit, At: e.Time, Cause: "unattributed"}
+		for _, w := range windows {
+			if e.Time >= w.from-slack && e.Time <= w.to+slack {
+				be.Cause = w.desc
+				d.Attributed++
+				break
+			}
+		}
+		d.Errors = append(d.Errors, be)
+	}
+	return d, true
+}
+
+// Summary renders the lane in one line.
+func (d LaneDiag) Summary() string {
+	return fmt.Sprintf("%-48s bits=%d errs=%d (%d attributed) eye=[hit≤%d | miss≥%d] margin=%d th=%d",
+		d.Label, d.RxBits, len(d.Errors), d.Attributed, d.Zero.Max, d.One.Min, d.EyeMargin, d.Threshold)
+}
+
+// Render writes the full diagnostics report: one summary line per lane
+// plus up to maxErrs attributed-error detail lines each.
+func Render(diags []LaneDiag, maxErrs int) string {
+	var sb strings.Builder
+	for _, d := range diags {
+		sb.WriteString(d.Summary())
+		sb.WriteByte('\n')
+		sb.WriteString(fmt.Sprintf("  eye detail: hit n=%d [%d..%d] mean=%.1f p50=%d | miss n=%d [%d..%d] mean=%.1f p50=%d\n",
+			d.Zero.Count, d.Zero.Min, d.Zero.Max, d.Zero.Mean, d.Zero.P50,
+			d.One.Count, d.One.Min, d.One.Max, d.One.Mean, d.One.P50))
+		for i, e := range d.Errors {
+			if maxErrs >= 0 && i >= maxErrs {
+				sb.WriteString(fmt.Sprintf("  ... and %d more corrupted bits\n", len(d.Errors)-i))
+				break
+			}
+			sb.WriteString(fmt.Sprintf("  bit %4d corrupted (sent %d, read %d) @%d <- %s\n",
+				e.Slot, e.Sent, e.Got, e.At, e.Cause))
+		}
+	}
+	return sb.String()
+}

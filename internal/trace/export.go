@@ -1,0 +1,252 @@
+package trace
+
+import (
+	"bufio"
+	"io"
+	"strconv"
+)
+
+// Exporters. Both renderings are hand-assembled (no reflection, no maps in
+// the output path) so a trace file is byte-identical for a given event
+// stream — the property the -jobs determinism checks diff for.
+//
+// Chrome trace-event JSON (the "JSON Array Format" Perfetto and
+// chrome://tracing load): each Buffer becomes one process (pid), each
+// agent within it one thread (tid), hier events without an agent land on
+// per-core tracks, and each cache level gets a counter track fed by the
+// cumulative hit/miss/fill/eviction counts over virtual time. Timestamps
+// are virtual cycles written into the format's microsecond field; the
+// scale is arbitrary but consistent, which is all a virtual clock needs.
+
+// jw is a minimal deterministic JSON writer.
+type jw struct {
+	w     *bufio.Writer
+	buf   []byte
+	first bool // no comma needed before the next element
+}
+
+func newJW(w io.Writer) *jw { return &jw{w: bufio.NewWriterSize(w, 1<<16), first: true} }
+
+func (j *jw) raw(s string) { j.w.WriteString(s) }
+
+// elem starts a new array element, inserting the separator.
+func (j *jw) elem() {
+	if !j.first {
+		j.w.WriteString(",\n")
+	}
+	j.first = false
+}
+
+func (j *jw) str(s string)  { j.buf = strconv.AppendQuote(j.buf[:0], s); j.w.Write(j.buf) }
+func (j *jw) int(v int64)   { j.buf = strconv.AppendInt(j.buf[:0], v, 10); j.w.Write(j.buf) }
+func (j *jw) uint(v uint64) { j.buf = strconv.AppendUint(j.buf[:0], v, 10); j.w.Write(j.buf) }
+
+// field writes a comma-prefixed string field.
+func (j *jw) field(name, val string) {
+	j.raw(",")
+	j.str(name)
+	j.raw(":")
+	j.str(val)
+}
+
+func (j *jw) fieldInt(name string, v int64) {
+	j.raw(",")
+	j.str(name)
+	j.raw(":")
+	j.int(v)
+}
+
+// trackKey returns the thread-track identity for an event within its
+// process: the agent when known, otherwise the core, otherwise the
+// machine-wide track.
+func trackKey(e Event) string {
+	if e.Agent != "" {
+		return e.Agent
+	}
+	if e.Core >= 0 {
+		return "core-" + strconv.Itoa(e.Core)
+	}
+	return "machine"
+}
+
+// argPairs appends the kind-specific argument fields of e.
+func argPairs(j *jw, e Event) {
+	if e.Level != "" {
+		j.field("level", e.Level)
+	}
+	if e.Slice >= 0 {
+		j.fieldInt("slice", int64(e.Slice))
+	}
+	if e.Set >= 0 {
+		j.fieldInt("set", int64(e.Set))
+	}
+	if e.Way >= 0 {
+		j.fieldInt("way", int64(e.Way))
+	}
+	if e.AgeBefore >= 0 {
+		j.fieldInt("age_before", int64(e.AgeBefore))
+	}
+	if e.AgeAfter >= 0 {
+		j.fieldInt("age_after", int64(e.AgeAfter))
+	}
+	if e.Addr != 0 {
+		j.raw(",")
+		j.str("addr")
+		j.raw(":")
+		j.uint(e.Addr)
+	}
+	if e.Slot >= 0 {
+		j.fieldInt("slot", int64(e.Slot))
+	}
+	if e.Bit >= 0 {
+		j.fieldInt("bit", int64(e.Bit))
+	}
+	if e.Lat != 0 {
+		j.fieldInt("lat", e.Lat)
+	}
+	if e.Dur != 0 {
+		j.fieldInt("dur", e.Dur)
+	}
+	if e.Val != 0 {
+		j.fieldInt("val", e.Val)
+	}
+	if e.Note != "" {
+		j.field("note", e.Note)
+	}
+}
+
+// levelCounters is the cumulative per-level counter state of one process.
+type levelCounters struct {
+	hits, misses, fills, evicts int64
+}
+
+// WriteChromeTrace renders the buffers as Chrome trace-event JSON.
+func WriteChromeTrace(w io.Writer, bufs []*Buffer) error {
+	j := newJW(w)
+	j.raw("{\"displayTimeUnit\":\"ns\",\"traceEvents\":[\n")
+
+	for bi, b := range bufs {
+		pid := int64(bi + 1)
+
+		// Process metadata.
+		j.elem()
+		j.raw(`{"name":"process_name","ph":"M","pid":`)
+		j.int(pid)
+		j.raw(`,"tid":0,"args":{"name":`)
+		j.str(b.label)
+		j.raw("}}")
+
+		// Thread tracks in first-appearance order (deterministic: the
+		// event stream itself is).
+		tids := map[string]int64{}
+		var order []string
+		for _, e := range b.events {
+			k := trackKey(e)
+			if _, ok := tids[k]; !ok {
+				tids[k] = int64(len(order) + 1)
+				order = append(order, k)
+			}
+		}
+		for _, k := range order {
+			j.elem()
+			j.raw(`{"name":"thread_name","ph":"M","pid":`)
+			j.int(pid)
+			j.raw(`,"tid":`)
+			j.int(tids[k])
+			j.raw(`,"args":{"name":`)
+			j.str(k)
+			j.raw("}}")
+		}
+
+		counters := map[string]*levelCounters{}
+		for _, e := range b.events {
+			j.elem()
+			j.raw(`{"name":`)
+			j.str(e.Pkg + ":" + e.Kind)
+			if e.Dur > 0 {
+				j.raw(`,"ph":"X","dur":`)
+				j.int(e.Dur)
+			} else {
+				j.raw(`,"ph":"i","s":"t"`)
+			}
+			j.raw(`,"ts":`)
+			j.int(e.Time)
+			j.raw(`,"pid":`)
+			j.int(pid)
+			j.raw(`,"tid":`)
+			j.int(tids[trackKey(e)])
+			j.raw(`,"cat":`)
+			j.str(e.Pkg)
+			j.raw(`,"args":{"_":0`)
+			argPairs(j, e)
+			j.raw("}}")
+
+			// Counter track per cache level, advanced by every hier event.
+			if e.Pkg == "hier" && e.Level != "" {
+				c := counters[e.Level]
+				if c == nil {
+					c = &levelCounters{}
+					counters[e.Level] = c
+				}
+				switch e.Kind {
+				case "hit":
+					c.hits++
+				case "miss":
+					c.misses++
+				case "fill":
+					c.fills++
+				case "evict":
+					c.evicts++
+				}
+				j.elem()
+				j.raw(`{"name":`)
+				j.str(e.Level)
+				j.raw(`,"ph":"C","ts":`)
+				j.int(e.Time)
+				j.raw(`,"pid":`)
+				j.int(pid)
+				j.raw(`,"args":{"hits":`)
+				j.int(c.hits)
+				j.raw(`,"misses":`)
+				j.int(c.misses)
+				j.raw(`,"fills":`)
+				j.int(c.fills)
+				j.raw(`,"evictions":`)
+				j.int(c.evicts)
+				j.raw("}}")
+			}
+		}
+	}
+	j.raw("\n]}\n")
+	return j.w.Flush()
+}
+
+// WriteJSONL renders the buffers as one JSON object per line: a stream
+// header per buffer ({"stream": label}) followed by its events. The
+// format is grep-friendly and an order of magnitude smaller than the
+// Chrome rendering.
+func WriteJSONL(w io.Writer, bufs []*Buffer) error {
+	j := newJW(w)
+	for _, b := range bufs {
+		j.raw(`{"stream":`)
+		j.str(b.label)
+		j.raw(`,"events":`)
+		j.int(int64(len(b.events)))
+		j.raw("}\n")
+		for _, e := range b.events {
+			j.raw(`{"ts":`)
+			j.int(e.Time)
+			j.field("pkg", e.Pkg)
+			j.field("kind", e.Kind)
+			if e.Agent != "" {
+				j.field("agent", e.Agent)
+			}
+			if e.Core >= 0 {
+				j.fieldInt("core", int64(e.Core))
+			}
+			argPairs(j, e)
+			j.raw("}\n")
+		}
+	}
+	return j.w.Flush()
+}

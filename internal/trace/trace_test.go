@@ -1,0 +1,231 @@
+package trace
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestNilTracerIsDisabled(t *testing.T) {
+	var tr *Tracer
+	if tr.On(PkgAll) {
+		t.Fatal("nil tracer reports enabled")
+	}
+	tr.Emit(E("hier", "fill", 1)) // must not panic
+	if tr.Buffer() != nil {
+		t.Fatal("nil tracer has a buffer")
+	}
+}
+
+func TestNilTracerEmitAllocs(t *testing.T) {
+	var tr *Tracer
+	allocs := testing.AllocsPerRun(1000, func() {
+		if tr.On(PkgHier) {
+			tr.Emit(E("hier", "fill", 1))
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled emit path allocates %v per op, want 0", allocs)
+	}
+}
+
+func TestMaskFiltering(t *testing.T) {
+	tr := New("m", PkgChannel)
+	tr.Emit(E("hier", "fill", 1))
+	tr.Emit(E("channel", "tx-bit", 2))
+	tr.Emit(E("sim", "spawn", 3))
+	evs := tr.Buffer().Events()
+	if len(evs) != 1 || evs[0].Kind != "tx-bit" {
+		t.Fatalf("mask filtering failed: %+v", evs)
+	}
+	if !tr.On(PkgChannel) || tr.On(PkgHier) {
+		t.Fatal("On does not reflect the mask")
+	}
+}
+
+func TestParseMask(t *testing.T) {
+	m, err := ParseMask("hier,channel")
+	if err != nil || m != PkgHier|PkgChannel {
+		t.Fatalf("ParseMask: %v %v", m, err)
+	}
+	if m, err := ParseMask(""); err != nil || m != PkgAll {
+		t.Fatalf("empty mask: %v %v", m, err)
+	}
+	if _, err := ParseMask("hier,bogus"); err == nil {
+		t.Fatal("unknown subsystem accepted")
+	}
+}
+
+func TestCollectorSortsAndRejectsDuplicates(t *testing.T) {
+	c := NewCollector()
+	c.Tracer("b/2", PkgAll).Emit(E("sim", "spawn", 1))
+	c.Tracer("a/1", PkgAll)
+	bufs := c.Buffers()
+	if len(bufs) != 2 || bufs[0].Label() != "a/1" || bufs[1].Label() != "b/2" {
+		t.Fatalf("buffers not label-sorted: %v, %v", bufs[0].Label(), bufs[1].Label())
+	}
+	if c.TotalEvents() != 1 {
+		t.Fatalf("TotalEvents = %d, want 1", c.TotalEvents())
+	}
+	keys, counts := c.CountByPrefix()
+	if len(keys) != 2 || counts["b"] != 1 || counts["a"] != 0 {
+		t.Fatalf("CountByPrefix: %v %v", keys, counts)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate label did not panic")
+		}
+	}()
+	c.Tracer("a/1", PkgAll)
+}
+
+// sampleBuffers builds a small but representative event set.
+func sampleBuffers() []*Buffer {
+	tr := New("fig8/skylake/ntpntp/00600", PkgAll)
+	e := E("sim", "spawn", 0)
+	e.Agent, e.Core = "sender", 0
+	tr.Emit(e)
+	e = E("hier", "fill", 120)
+	e.Agent, e.Core, e.Level, e.Slice, e.Set, e.Way, e.AgeAfter, e.Addr = "sender", 0, "LLC", 3, 117, 5, 3, 0xdeadbeef
+	tr.Emit(e)
+	e = E("hier", "evict", 120)
+	e.Level, e.Slice, e.Set, e.Way, e.AgeBefore, e.Addr = "LLC", 3, 117, 5, 3, 0x1234
+	tr.Emit(e)
+	e = E("channel", "calibrate", 500)
+	e.Agent, e.Lat, e.Val = "receiver", 150, 75
+	tr.Emit(e)
+	e = E("channel", "rx-bit", 2450)
+	e.Agent, e.Slot, e.Bit, e.Lat, e.Dur, e.Note = "receiver", 0, 1, 231, 2000, `quote"test`
+	tr.Emit(e)
+	return []*Buffer{tr.Buffer()}
+}
+
+// TestChromeTraceSchema is the acceptance check: the exported trace must
+// be valid Chrome trace-event JSON — an object with a traceEvents array
+// whose entries all carry name/ph/ts/pid and a known phase.
+func TestChromeTraceSchema(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, sampleBuffers()); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		DisplayTimeUnit string                   `json:"displayTimeUnit"`
+		TraceEvents     []map[string]interface{} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("exported trace is not valid JSON: %v\n%s", err, buf.String())
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("no trace events exported")
+	}
+	phases := map[string]bool{"M": true, "i": true, "X": true, "C": true}
+	var sawMeta, sawCounter, sawInstant bool
+	for i, ev := range doc.TraceEvents {
+		for _, key := range []string{"name", "ph", "pid"} {
+			if _, ok := ev[key]; !ok {
+				t.Fatalf("event %d missing %q: %v", i, key, ev)
+			}
+		}
+		ph := ev["ph"].(string)
+		if !phases[ph] {
+			t.Fatalf("event %d has unknown phase %q", i, ph)
+		}
+		if ph != "M" {
+			if _, ok := ev["ts"]; !ok {
+				t.Fatalf("event %d missing ts: %v", i, ev)
+			}
+		}
+		switch ph {
+		case "M":
+			sawMeta = true
+			args := ev["args"].(map[string]interface{})
+			if _, ok := args["name"].(string); !ok {
+				t.Fatalf("metadata event %d has no args.name", i)
+			}
+		case "C":
+			sawCounter = true
+		case "i":
+			sawInstant = true
+		}
+	}
+	if !sawMeta || !sawCounter || !sawInstant {
+		t.Fatalf("missing event classes: meta=%v counter=%v instant=%v", sawMeta, sawCounter, sawInstant)
+	}
+}
+
+func TestJSONLExport(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteJSONL(&buf, sampleBuffers()); err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(&buf)
+	lines := 0
+	for sc.Scan() {
+		lines++
+		var obj map[string]interface{}
+		if err := json.Unmarshal(sc.Bytes(), &obj); err != nil {
+			t.Fatalf("line %d is not valid JSON: %v\n%s", lines, err, sc.Text())
+		}
+		if _, isHeader := obj["stream"]; !isHeader {
+			if _, ok := obj["kind"]; !ok {
+				t.Fatalf("line %d has no kind: %s", lines, sc.Text())
+			}
+		}
+	}
+	if lines != 6 { // 1 header + 5 events
+		t.Fatalf("got %d lines, want 6", lines)
+	}
+}
+
+func TestDiagnoseAttributesErrors(t *testing.T) {
+	tr := New("lane", PkgAll)
+	cal := E("channel", "calibrate", 100)
+	cal.Lat = 150
+	tr.Emit(cal)
+	// Fault window covering slots 2 and 3.
+	fw := E("fault", "preempt", 4000)
+	fw.Dur, fw.Agent, fw.Note = 4500, "receiver", "preempt-receiver"
+	tr.Emit(fw)
+	for i := 0; i < 5; i++ {
+		bitv := i % 2
+		tx := E("channel", "tx-bit", int64(2000*i))
+		tx.Slot, tx.Bit = i, bitv
+		tr.Emit(tx)
+		got := bitv
+		lat := int64(80) // hit
+		if bitv == 1 {
+			lat = 230 // miss
+		}
+		if i == 2 || i == 3 { // corrupted inside the fault window
+			got = 1 - bitv
+			lat = 80 + int64(150*got)
+		}
+		rx := E("channel", "rx-bit", int64(2000*i+450))
+		rx.Slot, rx.Bit, rx.Lat, rx.Dur = i, got, lat, 2000
+		tr.Emit(rx)
+	}
+	diags := Diagnose([]*Buffer{tr.Buffer()})
+	if len(diags) != 1 {
+		t.Fatalf("got %d lanes, want 1", len(diags))
+	}
+	d := diags[0]
+	if d.Threshold != 150 || d.TxBits != 5 || d.RxBits != 5 {
+		t.Fatalf("lane header wrong: %+v", d)
+	}
+	if len(d.Errors) != 2 || d.Attributed != 2 {
+		t.Fatalf("errors=%d attributed=%d, want 2/2: %+v", len(d.Errors), d.Attributed, d.Errors)
+	}
+	for _, e := range d.Errors {
+		if !strings.Contains(e.Cause, "preempt") {
+			t.Fatalf("error not attributed to the preempt window: %+v", e)
+		}
+	}
+	if d.Zero.Count == 0 || d.One.Count == 0 || d.One.Min <= d.Zero.Max {
+		t.Fatalf("eye stats wrong: %+v %+v", d.Zero, d.One)
+	}
+	if out := Render(diags, 1); !strings.Contains(out, "and 1 more corrupted bits") {
+		t.Fatalf("Render cap missing:\n%s", out)
+	}
+}

@@ -34,6 +34,7 @@ import (
 	"leakyway/internal/mem"
 	"leakyway/internal/platform"
 	"leakyway/internal/sim"
+	"leakyway/internal/trace"
 	"leakyway/internal/victim"
 )
 
@@ -417,6 +418,76 @@ func RunExperiment(ctx *ExperimentContext, id string) (*ExperimentResult, error)
 // RunAllExperiments runs the full suite.
 func RunAllExperiments(ctx *ExperimentContext) (map[string]*ExperimentResult, error) {
 	return experiments.RunAll(ctx)
+}
+
+//
+// Cycle-level tracing (observability).
+//
+
+// TraceEvent is one structured simulator event: the virtual timestamp, the
+// emitting subsystem and event kind, plus whichever dimensions apply
+// (agent, core, cache coordinates, latency, duration).
+type TraceEvent = trace.Event
+
+// TraceMask selects which subsystems a tracer records.
+type TraceMask = trace.Mask
+
+// Trace subsystem masks.
+const (
+	// TraceHier records cache-hierarchy events (hit/miss/fill/evict/…).
+	TraceHier = trace.PkgHier
+	// TraceSim records scheduler events (spawn/wait/timed ops/faults).
+	TraceSim = trace.PkgSim
+	// TraceFault records fault-injection firings.
+	TraceFault = trace.PkgFault
+	// TraceChannel records channel protocol events (tx/rx bits, frames).
+	TraceChannel = trace.PkgChannel
+	// TraceAllPkgs records everything.
+	TraceAllPkgs = trace.PkgAll
+)
+
+// ParseTraceMask parses a comma-separated subsystem list ("channel,sim");
+// the empty string means all subsystems.
+func ParseTraceMask(s string) (TraceMask, error) { return trace.ParseMask(s) }
+
+// TraceBuffer is one machine's ordered event stream.
+type TraceBuffer = trace.Buffer
+
+// TraceCollector gathers the streams of every traced machine in a run.
+// Set ExperimentContext.Trace to one before running; stream labels derive
+// from experiment/platform/point names, so exports are byte-identical for
+// any job count.
+type TraceCollector = trace.Collector
+
+// NewTraceCollector returns an empty collector.
+func NewTraceCollector() *TraceCollector { return trace.NewCollector() }
+
+// WriteChromeTrace exports buffers as Chrome trace-event JSON, loadable in
+// Perfetto (ui.perfetto.dev) or chrome://tracing: one track per agent and
+// per-level counter tracks per stream.
+func WriteChromeTrace(w io.Writer, bufs []*TraceBuffer) error {
+	return trace.WriteChromeTrace(w, bufs)
+}
+
+// WriteTraceJSONL exports buffers as compact JSONL: a stream-header line
+// followed by one object per event.
+func WriteTraceJSONL(w io.Writer, bufs []*TraceBuffer) error {
+	return trace.WriteJSONL(w, bufs)
+}
+
+// TraceLaneDiag is a channel-diagnostics report for one traced stream:
+// per-slot latency populations, the eye margin between them, and each bit
+// error attributed to the fault window overlapping it.
+type TraceLaneDiag = trace.LaneDiag
+
+// DiagnoseTrace builds channel diagnostics from collected trace buffers
+// (streams without received bits are skipped).
+func DiagnoseTrace(bufs []*TraceBuffer) []TraceLaneDiag { return trace.Diagnose(bufs) }
+
+// RenderTraceDiagnostics renders diagnostics as text, listing at most
+// maxErrs bit errors per lane.
+func RenderTraceDiagnostics(diags []TraceLaneDiag, maxErrs int) string {
+	return trace.Render(diags, maxErrs)
 }
 
 // SplitSeed derives an independent child seed from a master seed and a key
