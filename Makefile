@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: all build vet fmt-check staticcheck test race fuzz-smoke trace-smoke verify bench bench-jobs clean
+.PHONY: all build vet fmt-check staticcheck test race fuzz-smoke trace-smoke verify bench bench-jobs bench-check bench-baseline cover clean
 
 all: verify
 
@@ -27,10 +27,15 @@ race:
 	$(GO) test -race ./...
 
 # staticcheck when the host has it; skipped (not failed) otherwise, so
-# verify works on boxes where the tool cannot be installed.
+# verify works on boxes where the tool cannot be installed. CI runs
+# `make verify STATICCHECK_MODE=strict`, which turns a missing binary into
+# a hard failure so the linter can never be silently skipped there.
+STATICCHECK_MODE ?= auto
 staticcheck:
 	@if command -v staticcheck >/dev/null 2>&1; then \
 		staticcheck ./...; \
+	elif [ "$(STATICCHECK_MODE)" = "strict" ]; then \
+		echo "staticcheck not installed but STATICCHECK_MODE=strict"; exit 1; \
 	else \
 		echo "staticcheck not installed; skipping"; \
 	fi
@@ -62,6 +67,28 @@ bench:
 # Engine scaling curve: the full suite at 1/2/4/8 workers.
 bench-jobs:
 	$(GO) test -bench 'BenchmarkRunAllJobs' -benchtime 3x -run '^$$' .
+
+# Perf-regression gate: run the pinned benchmark set and compare ns/op and
+# allocs/op against the committed BENCH.json baselines (±20%, with
+# re-measurement of gates that fail on a noisy first sample). See
+# cmd/benchcheck for the calibration and retry details.
+bench-check:
+	$(GO) run ./cmd/benchcheck
+
+# Re-pin the BENCH.json baselines from this host's measurements.
+bench-baseline:
+	$(GO) run ./cmd/benchcheck -update
+
+# Coverage floor over the simulation core: fail below $(COVER_FLOOR)%
+# of statements across internal/... . The profile is left at cover.out
+# for `go tool cover -html` or CI artifact upload.
+COVER_FLOOR ?= 75
+cover:
+	$(GO) test -coverprofile=cover.out ./internal/...
+	@total="$$($(GO) tool cover -func=cover.out | awk '/^total:/ {sub(/%/, "", $$3); print $$3}')"; \
+	echo "total coverage: $$total% (floor $(COVER_FLOOR)%)"; \
+	awk -v t="$$total" -v f="$(COVER_FLOOR)" 'BEGIN { exit (t+0 < f+0) ? 1 : 0 }' || \
+		{ echo "coverage below floor"; exit 1; }
 
 clean:
 	$(GO) clean ./...

@@ -23,20 +23,31 @@
 //	                                  Perfetto (ui.perfetto.dev) loads
 //	-trace-filter pkg1,pkg2           restrict tracing to subsystems
 //	                                  (hier,sim,fault,channel)
+//	-cpuprofile FILE                  write a pprof CPU profile of the run
+//	-memprofile FILE                  write a pprof heap profile at exit
+//	-pprof ADDR                       serve net/http/pprof on ADDR
+//	                                  (e.g. localhost:6060) for live profiling
 package main
 
 import (
 	"flag"
 	"fmt"
 	"io"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"leakyway"
 )
 
-func main() {
+func main() { os.Exit(mainRun()) }
+
+// mainRun is main with an exit code, so profile-flushing defers run even on
+// failure paths (os.Exit would skip them).
+func mainRun() int {
 	var opt options
 	flag.StringVar(&opt.platform, "platform", "both", "platform: skylake, kabylake or both")
 	flag.Int64Var(&opt.seed, "seed", 42, "master seed for all stochastic elements")
@@ -45,13 +56,54 @@ func main() {
 	flag.StringVar(&opt.jsonPath, "json", "", "write metrics of every run experiment to this file as JSON")
 	flag.StringVar(&opt.tracePath, "trace", "", "write a cycle-level event trace to this file (.jsonl = JSONL, else Chrome trace-event JSON)")
 	flag.StringVar(&opt.traceFilter, "trace-filter", "", "comma-separated trace subsystems: hier,sim,fault,channel (default all)")
+	flag.StringVar(&opt.cpuProfile, "cpuprofile", "", "write a pprof CPU profile of the run to this file")
+	flag.StringVar(&opt.memProfile, "memprofile", "", "write a pprof heap profile at exit to this file")
+	flag.StringVar(&opt.pprofAddr, "pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	flag.Usage = usage
 	flag.Parse()
 
 	args := flag.Args()
 	if len(args) == 0 {
 		usage()
-		os.Exit(2)
+		return 2
+	}
+
+	if opt.pprofAddr != "" {
+		go func() {
+			if err := http.ListenAndServe(opt.pprofAddr, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "pprof server:", err)
+			}
+		}()
+	}
+	if opt.cpuProfile != "" {
+		f, err := os.Create(opt.cpuProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "cpuprofile:", err)
+			return 1
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "cpuprofile:", err)
+			f.Close()
+			return 1
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if opt.memProfile != "" {
+		defer func() {
+			f, err := os.Create(opt.memProfile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "memprofile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "memprofile:", err)
+			}
+		}()
 	}
 
 	switch args[0] {
@@ -60,17 +112,18 @@ func main() {
 	case "run":
 		if len(args) < 2 {
 			fmt.Fprintln(os.Stderr, "run: need experiment IDs or 'all'")
-			os.Exit(2)
+			return 2
 		}
 		if err := run(args[1:], opt, os.Stdout); err != nil {
 			fmt.Fprintln(os.Stderr, "error:", err)
-			os.Exit(1)
+			return 1
 		}
 	default:
 		fmt.Fprintf(os.Stderr, "unknown command %q\n", args[0])
 		usage()
-		os.Exit(2)
+		return 2
 	}
+	return 0
 }
 
 // options carries the flag values that shape a run.
@@ -82,6 +135,9 @@ type options struct {
 	jsonPath    string
 	tracePath   string
 	traceFilter string
+	cpuProfile  string
+	memProfile  string
+	pprofAddr   string
 }
 
 func usage() {

@@ -79,15 +79,22 @@ type Cache struct {
 	stats Stats
 }
 
-// New builds the cache.
+// New builds the cache. All sets share one flat preallocated line array
+// (each set views its own ways-sized window), so a set scan touches
+// contiguous memory and construction costs two allocations, not O(sets).
 func New(cfg Config) *Cache {
 	if cfg.Sets <= 0 || cfg.Ways <= 0 {
 		panic(fmt.Sprintf("cache %q: sets=%d ways=%d must be positive", cfg.Name, cfg.Sets, cfg.Ways))
 	}
+	if cfg.Ways > 64 {
+		panic(fmt.Sprintf("cache %q: ways=%d exceeds the 64-way mask limit", cfg.Name, cfg.Ways))
+	}
 	c := &Cache{cfg: cfg, sets: make([]set, cfg.Sets)}
+	backing := make([]Line, cfg.Sets*cfg.Ways)
 	for i := range c.sets {
+		lo, hi := i*cfg.Ways, (i+1)*cfg.Ways
 		c.sets[i] = set{
-			lines: make([]Line, cfg.Ways),
+			lines: backing[lo:hi:hi],
 			state: cfg.Pol.NewSet(cfg.Ways),
 		}
 	}
@@ -152,14 +159,15 @@ type Evicted struct {
 // nothing can be replaced — the caller treats the fill as dropped, which is
 // how the paper describes conflicting in-flight prefetches behaving.
 func (c *Cache) Fill(setIdx int, la mem.LineAddr, cls policy.AccessClass, now, readyAt int64) (ev Evicted, evicted, ok bool) {
-	return c.FillRestricted(setIdx, la, cls, now, readyAt, nil)
+	return c.FillRestricted(setIdx, la, cls, now, readyAt, policy.AllWays(c.cfg.Ways))
 }
 
-// FillRestricted is Fill with an optional way restriction: when allowed is
-// non-nil, only permitted ways may receive the line or be evicted. This is
-// the mechanism behind way-partitioned (isolation) LLC defenses: a security
-// domain's fills can never displace another domain's lines.
-func (c *Cache) FillRestricted(setIdx int, la mem.LineAddr, cls policy.AccessClass, now, readyAt int64, allowed func(way int) bool) (ev Evicted, evicted, ok bool) {
+// FillRestricted is Fill with a way restriction: only ways in the allowed
+// mask may receive the line or be evicted. This is the mechanism behind
+// way-partitioned (isolation) LLC defenses: a security domain's fills can
+// never displace another domain's lines. The mask form keeps the eviction
+// decision allocation-free — no closure is built per fill.
+func (c *Cache) FillRestricted(setIdx int, la mem.LineAddr, cls policy.AccessClass, now, readyAt int64, allowed policy.Mask) (ev Evicted, evicted, ok bool) {
 	s := &c.sets[setIdx]
 	if w, present := c.Probe(setIdx, la); present {
 		// Already present (racing fills): treat as a hit refresh.
@@ -168,18 +176,19 @@ func (c *Cache) FillRestricted(setIdx int, la mem.LineAddr, cls policy.AccessCla
 	}
 	way := -1
 	for w := range s.lines {
-		if !s.lines[w].Valid && (allowed == nil || allowed(w)) {
+		if !s.lines[w].Valid && allowed.Has(w) {
 			way = w
 			break
 		}
 	}
 	if way < 0 {
-		way = s.state.Victim(func(w int) bool {
-			if s.lines[w].InFlightUntil > now {
-				return false
+		var evictable policy.Mask
+		for w := range s.lines {
+			if s.lines[w].InFlightUntil <= now {
+				evictable |= 1 << uint(w)
 			}
-			return allowed == nil || allowed(w)
-		})
+		}
+		way = s.state.Victim(evictable & allowed)
 		if way < 0 {
 			return Evicted{}, false, false
 		}
@@ -210,9 +219,9 @@ func (c *Cache) Invalidate(setIdx int, la mem.LineAddr) (present, dirty bool) {
 }
 
 // AgeOf returns the replacement-policy metadata value (age/rank) of one
-// way, for tracing. It does not mutate policy state.
+// way, for tracing. It does not mutate policy state and does not allocate.
 func (c *Cache) AgeOf(setIdx, way int) int {
-	return c.sets[setIdx].state.Snapshot()[way]
+	return c.sets[setIdx].state.AgeAt(way)
 }
 
 // View returns a copy of the set's lines plus the policy snapshot, for
@@ -248,18 +257,17 @@ func (c *Cache) Occupancy(setIdx int) int {
 // quad-age and RRIP policies' behaviour after their aging passes.
 func (c *Cache) EvictionCandidate(setIdx int) (mem.LineAddr, bool) {
 	s := &c.sets[setIdx]
-	meta := s.state.Snapshot()
 	maxAge := -1
-	for _, m := range meta {
-		if m > maxAge {
+	for w := range s.lines {
+		if m := s.state.AgeAt(w); m > maxAge {
 			maxAge = m
 		}
 	}
 	if maxAge < 0 {
 		return 0, false
 	}
-	for w, m := range meta {
-		if m == maxAge && s.lines[w].Valid {
+	for w := range s.lines {
+		if s.state.AgeAt(w) == maxAge && s.lines[w].Valid {
 			return s.lines[w].Addr, true
 		}
 	}

@@ -56,7 +56,7 @@ func (s *setModel) touch(tag int, cls policy.AccessClass) {
 		s.state.OnHit(w, cls)
 		return
 	}
-	w := s.state.Victim(func(int) bool { return true })
+	w := s.state.Victim(policy.AllWays(s.ways))
 	s.state.OnInvalidate(w)
 	s.tags[w] = tag
 	s.valid[w] = true

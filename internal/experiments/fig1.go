@@ -47,14 +47,14 @@ func runFig1(ctx *Context) (*Result, error) {
 	set.OnHit(1, policy.ClassLoad)
 	show("load l1, hits in the LLC")
 
-	v := set.Victim(func(int) bool { return true })
+	v := set.Victim(policy.AllWays(6))
 	evicted1 := names[v]
 	set.OnInvalidate(v)
 	set.OnFill(v, policy.ClassLoad)
 	names[v] = "l6"
 	show(fmt.Sprintf("load l6, misses and evicts %s", evicted1))
 
-	v = set.Victim(func(int) bool { return true })
+	v = set.Victim(policy.AllWays(6))
 	evicted2 := names[v]
 	set.OnInvalidate(v)
 	set.OnFill(v, policy.ClassLoad)

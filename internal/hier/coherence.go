@@ -19,33 +19,48 @@ import (
 // It returns the extra forwarding latency and whether any remote copy
 // exists (which decides Shared vs Exclusive fill for the requester).
 func (h *Hierarchy) snoopLoad(core int, la mem.LineAddr) (extra int64, shared bool) {
+	l1Set, l2Set := h.l1Set(la), h.l2Set(la)
 	for c := 0; c < h.cfg.Cores; c++ {
 		if c == core {
 			continue
 		}
-		for _, pc := range []*cache.Cache{h.l1[c], h.l2[c]} {
-			set := h.l1Set(la)
-			if pc == h.l2[c] {
-				set = h.l2Set(la)
-			}
-			w, ok := pc.Probe(set, la)
-			if !ok {
-				continue
-			}
+		found, modified := h.snoopPrivate(h.l1[c], l1Set, la)
+		if found {
 			shared = true
-			switch pc.Coh(set, w) {
-			case cache.CohModified:
-				// Forward dirty data; the LLC copy absorbs the
-				// dirtiness and the owner keeps a Shared copy.
+			if modified {
 				extra = h.cfg.Lat.CohTransfer
-				h.markLLCDirty(la)
-				pc.SetCoh(set, w, cache.CohShared)
-			case cache.CohExclusive:
-				pc.SetCoh(set, w, cache.CohShared)
+			}
+		}
+		found, modified = h.snoopPrivate(h.l2[c], l2Set, la)
+		if found {
+			shared = true
+			if modified {
+				extra = h.cfg.Lat.CohTransfer
 			}
 		}
 	}
 	return extra, shared
+}
+
+// snoopPrivate downgrades one private cache's copy of la for a remote load.
+// It reports whether a copy existed and whether it was Modified (in which
+// case the dirty data was forwarded into the LLC copy).
+func (h *Hierarchy) snoopPrivate(pc *cache.Cache, set int, la mem.LineAddr) (found, modified bool) {
+	w, ok := pc.Probe(set, la)
+	if !ok {
+		return false, false
+	}
+	switch pc.Coh(set, w) {
+	case cache.CohModified:
+		// Forward dirty data; the LLC copy absorbs the dirtiness and
+		// the owner keeps a Shared copy.
+		h.markLLCDirty(la)
+		pc.SetCoh(set, w, cache.CohShared)
+		return true, true
+	case cache.CohExclusive:
+		pc.SetCoh(set, w, cache.CohShared)
+	}
+	return true, false
 }
 
 // invalidateRemote removes every other core's private copy of la (the RFO /
@@ -95,7 +110,7 @@ func (h *Hierarchy) setPrivCoh(core int, la mem.LineAddr, st cache.CohState) {
 
 // markLLCDirty flags la's LLC copy as holding forwarded dirty data.
 func (h *Hierarchy) markLLCDirty(la mem.LineAddr) {
-	slice, set := h.geo.Locate(la)
+	slice, set := h.loc.Locate(la)
 	if w, ok := h.llc[slice].Probe(set, la); ok {
 		h.llc[slice].MarkDirty(set, w)
 	}

@@ -30,7 +30,7 @@ func (h *Hierarchy) dirFill(la mem.LineAddr, cls policy.AccessClass, now, ready 
 		// entries like demand entries.
 		cls = policy.ClassLoad
 	}
-	slice, set := h.geo.Locate(la)
+	slice, set := h.loc.Locate(la)
 	ev, evicted, _ := h.dir[slice].Fill(set, la, cls, now, ready)
 	if evicted {
 		for c := 0; c < h.cfg.Cores; c++ {
@@ -47,7 +47,7 @@ func (h *Hierarchy) dirTouch(la mem.LineAddr, cls policy.AccessClass, now, ready
 	if h.dir == nil {
 		return
 	}
-	slice, set := h.geo.Locate(la)
+	slice, set := h.loc.Locate(la)
 	if w, ok := h.dir[slice].Probe(set, la); ok {
 		h.dir[slice].Touch(set, w, cls)
 		return
@@ -60,7 +60,7 @@ func (h *Hierarchy) dirDrop(la mem.LineAddr) {
 	if h.dir == nil {
 		return
 	}
-	slice, set := h.geo.Locate(la)
+	slice, set := h.loc.Locate(la)
 	h.dir[slice].Invalidate(set, la)
 }
 
@@ -70,7 +70,7 @@ func (h *Hierarchy) DirPresent(pa mem.PAddr) bool {
 		return false
 	}
 	la := pa.Line()
-	slice, set := h.geo.Locate(la)
+	slice, set := h.loc.Locate(la)
 	_, ok := h.dir[slice].Probe(set, la)
 	return ok
 }

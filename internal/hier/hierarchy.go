@@ -52,6 +52,7 @@ type Result struct {
 type Hierarchy struct {
 	cfg Config
 	geo *mem.Geometry
+	loc *mem.Locator   // memoizing slice/set locator (not goroutine-safe)
 	l1  []*cache.Cache // per core
 	l2  []*cache.Cache // per core
 	llc []*cache.Cache // per slice
@@ -59,11 +60,30 @@ type Hierarchy struct {
 	rng *rand.Rand
 	pf  []*corePrefetcher // per core, nil when disabled
 
+	// l1SetMask/l2SetMask are Sets-1 when the set count is a power of two
+	// (the common case), avoiding a hardware divide per lookup; -1 falls
+	// back to the modulo path.
+	l1SetMask, l2SetMask int
+
+	// partMask holds the per-core allowed-way masks under way
+	// partitioning; nil when the LLC is unpartitioned.
+	partMask []policy.Mask
+	// allWaysLLC is the unrestricted LLC fill mask.
+	allWaysLLC policy.Mask
+
 	// tr, when non-nil, receives hier events; trAgent/trCore stamp the
 	// agent context (see trace.go).
 	tr      *trace.Tracer
 	trAgent string
 	trCore  int
+}
+
+// setIndexMask returns sets-1 for power-of-two set counts, else -1.
+func setIndexMask(sets int) int {
+	if sets&(sets-1) == 0 {
+		return sets - 1
+	}
+	return -1
 }
 
 // New builds a hierarchy from the config.
@@ -77,10 +97,20 @@ func New(cfg Config) (*Hierarchy, error) {
 		return nil, err
 	}
 	h := &Hierarchy{
-		cfg:    cfg,
-		geo:    geo,
-		rng:    rand.New(rand.NewSource(cfg.Seed ^ 0x1ea11e57)),
-		trCore: -1,
+		cfg:        cfg,
+		geo:        geo,
+		loc:        geo.NewLocator(),
+		rng:        rand.New(rand.NewSource(cfg.Seed ^ 0x1ea11e57)),
+		trCore:     -1,
+		l1SetMask:  setIndexMask(cfg.L1Sets),
+		l2SetMask:  setIndexMask(cfg.L2Sets),
+		allWaysLLC: policy.AllWays(cfg.LLCWays),
+	}
+	if n := cfg.LLCPartitionWays; n > 0 {
+		h.partMask = make([]policy.Mask, cfg.Cores)
+		for c := range h.partMask {
+			h.partMask[c] = policy.AllWays((c+1)*n) &^ policy.AllWays(c*n)
+		}
 	}
 	for c := 0; c < cfg.Cores; c++ {
 		h.l1 = append(h.l1, cache.New(cache.Config{
@@ -127,8 +157,23 @@ func (h *Hierarchy) Config() Config { return h.cfg }
 func (h *Hierarchy) Geometry() *mem.Geometry { return h.geo }
 
 // set-index helpers
-func (h *Hierarchy) l1Set(la mem.LineAddr) int { return int(uint64(la) % uint64(h.cfg.L1Sets)) }
-func (h *Hierarchy) l2Set(la mem.LineAddr) int { return int(uint64(la) % uint64(h.cfg.L2Sets)) }
+func (h *Hierarchy) l1Set(la mem.LineAddr) int {
+	if h.l1SetMask >= 0 {
+		return int(uint64(la) & uint64(h.l1SetMask))
+	}
+	return int(uint64(la) % uint64(h.cfg.L1Sets))
+}
+
+func (h *Hierarchy) l2Set(la mem.LineAddr) int {
+	if h.l2SetMask >= 0 {
+		return int(uint64(la) & uint64(h.l2SetMask))
+	}
+	return int(uint64(la) % uint64(h.cfg.L2Sets))
+}
+
+// Lat returns the latency model. The pointer is read-only shared state; it
+// lets per-operation costs be read without copying the whole Config.
+func (h *Hierarchy) Lat() *LatencyConfig { return &h.cfg.Lat }
 
 func (h *Hierarchy) checkCore(core int) {
 	if core < 0 || core >= h.cfg.Cores {
@@ -171,7 +216,7 @@ func (h *Hierarchy) Load(core int, pa mem.PAddr, now int64) Result {
 
 	// LLC hit: demand hit updates the line's age (decrement), refills the
 	// private levels.
-	slice, set := h.geo.Locate(la)
+	slice, set := h.loc.Locate(la)
 	if h.lookupTraced(h.llc[slice], LevelLLC, slice, set, la, policy.ClassLoad, now) {
 		l := sample(h.rng, lat.LLCHit, lat.LLCJit) + extra
 		h.fillL2(core, la, policy.ClassLoad, now, now+l)
@@ -247,7 +292,7 @@ func (h *Hierarchy) PrefetchNTA(core int, pa mem.PAddr, now int64) Result {
 		h.fillL1(core, la, policy.ClassNTA, now, now+l)
 		return Result{Level: LevelL2, Latency: l}
 	}
-	slice, set := h.geo.Locate(la)
+	slice, set := h.loc.Locate(la)
 	if h.lookupTraced(h.llc[slice], LevelLLC, slice, set, la, policy.ClassNTA, now) {
 		// ClassNTA hit: QuadAge leaves the age untouched (Property #2).
 		l := sample(h.rng, lat.LLCHit, lat.LLCJit)
@@ -285,7 +330,7 @@ func (h *Hierarchy) PrefetchT0(core int, pa mem.PAddr, now int64) Result {
 		h.fillL1(core, la, policy.ClassT0, now, now+l)
 		return Result{Level: LevelL2, Latency: l}
 	}
-	slice, set := h.geo.Locate(la)
+	slice, set := h.loc.Locate(la)
 	if h.lookupTraced(h.llc[slice], LevelLLC, slice, set, la, policy.ClassT0, now) {
 		l := sample(h.rng, lat.LLCHit, lat.LLCJit)
 		h.fillL2(core, la, policy.ClassT0, now, now+l)
@@ -316,7 +361,7 @@ func (h *Hierarchy) Flush(pa mem.PAddr, now int64) Result {
 			present, dirty = true, dirty || d
 		}
 	}
-	slice, set := h.geo.Locate(la)
+	slice, set := h.loc.Locate(la)
 	if p, d := h.llc[slice].Invalidate(set, la); p {
 		present, dirty = true, dirty || d
 	}
@@ -380,7 +425,7 @@ func (h *Hierarchy) propagateDirty(core int, la mem.LineAddr) {
 		h.l2[core].MarkDirty(h.l2Set(la), w)
 		return
 	}
-	slice, set := h.geo.Locate(la)
+	slice, set := h.loc.Locate(la)
 	if w, ok := h.llc[slice].Probe(set, la); ok {
 		h.llc[slice].MarkDirty(set, w)
 	}
@@ -392,11 +437,10 @@ func (h *Hierarchy) propagateDirty(core int, la mem.LineAddr) {
 // ways. Returns false when the fill was dropped because no permitted way
 // could be replaced.
 func (h *Hierarchy) fillLLC(core int, la mem.LineAddr, cls policy.AccessClass, now, ready int64) bool {
-	slice, set := h.geo.Locate(la)
-	var allowed func(way int) bool
-	if n := h.cfg.LLCPartitionWays; n > 0 {
-		lo, hi := core*n, (core+1)*n
-		allowed = func(way int) bool { return way >= lo && way < hi }
+	slice, set := h.loc.Locate(la)
+	allowed := h.allWaysLLC
+	if h.partMask != nil {
+		allowed = h.partMask[core]
 	}
 	meta := h.fillMeta(h.llc[slice], set)
 	ev, evicted, ok := h.llc[slice].FillRestricted(set, la, cls, now, ready, allowed)

@@ -106,7 +106,7 @@ func (h *Hierarchy) hwPrefetch(core int, la mem.LineAddr, now int64) {
 		if _, ok := h.l2[core].Probe(h.l2Set(target), target); ok {
 			continue
 		}
-		slice, set := h.geo.Locate(target)
+		slice, set := h.loc.Locate(target)
 		if _, ok := h.llc[slice].Probe(set, target); ok {
 			// Already in LLC: just pull into L2.
 			h.fillL2(core, target, policy.ClassHW, now, now+h.cfg.Lat.LLCHit)

@@ -26,7 +26,7 @@ func (h *Hierarchy) Present(level Level, pa mem.PAddr) bool {
 			}
 		}
 	case LevelLLC:
-		slice, set := h.geo.Locate(la)
+		slice, set := h.loc.Locate(la)
 		_, ok := h.llc[slice].Probe(set, la)
 		return ok
 	}
@@ -60,14 +60,14 @@ type SetView struct {
 // LLCSet snapshots the LLC set that pa maps to.
 func (h *Hierarchy) LLCSet(pa mem.PAddr) SetView {
 	la := pa.Line()
-	slice, set := h.geo.Locate(la)
+	slice, set := h.loc.Locate(la)
 	return SetView{Slice: slice, Set: set, View: h.llc[slice].ViewSet(set)}
 }
 
 // LLCAge returns the quad-age of pa's line in the LLC, or -1 if absent.
 func (h *Hierarchy) LLCAge(pa mem.PAddr) int {
 	la := pa.Line()
-	slice, set := h.geo.Locate(la)
+	slice, set := h.loc.Locate(la)
 	w, ok := h.llc[slice].Probe(set, la)
 	if !ok {
 		return -1
@@ -79,14 +79,14 @@ func (h *Hierarchy) LLCAge(pa mem.PAddr) int {
 // from pa's set, matching the paper's "eviction candidate" notion.
 func (h *Hierarchy) LLCCandidate(pa mem.PAddr) (mem.LineAddr, bool) {
 	la := pa.Line()
-	slice, set := h.geo.Locate(la)
+	slice, set := h.loc.Locate(la)
 	return h.llc[slice].EvictionCandidate(set)
 }
 
 // LLCOccupancy returns the number of valid ways in pa's LLC set.
 func (h *Hierarchy) LLCOccupancy(pa mem.PAddr) int {
 	la := pa.Line()
-	slice, set := h.geo.Locate(la)
+	slice, set := h.loc.Locate(la)
 	return h.llc[slice].Occupancy(set)
 }
 

@@ -1,0 +1,65 @@
+package mem
+
+import "math/bits"
+
+// locatorFrameSlots sizes the Locator's direct-mapped frame cache. 4096
+// entries cover every frame an experiment's working set touches; collisions
+// only cost a recompute, never a wrong answer.
+const locatorFrameSlots = 1 << 12
+
+// Locator answers the same slice/set queries as Geometry.Locate but
+// memoizes the expensive part of the slice hash. The hash masks include
+// both page-offset bits (6..11) and frame bits, so the parity splits into
+//
+//	slice(la) = parity(frame part) XOR parity(line-in-page part)
+//
+// The line-in-page contribution has only 64 possible inputs and is fully
+// precomputed; the frame contribution is cached in a direct-mapped table
+// keyed by frame number. A Locator is not goroutine-safe — each Hierarchy
+// owns one, which the sim package serializes access to.
+type Locator struct {
+	setMask uint64
+	masks   []uint64
+	lowTab  [LinesPerPage]uint8
+	tags    []uint64 // frame+1 per slot; 0 = empty; nil when Slices == 1
+	vals    []uint8
+}
+
+// NewLocator builds a memoizing locator for the geometry. The result is
+// exactly equivalent to calling g.Locate for every line address.
+func (g *Geometry) NewLocator() *Locator {
+	l := &Locator{setMask: uint64(g.SetsPerSlice - 1), masks: g.sliceMasks}
+	if len(g.sliceMasks) == 0 {
+		return l
+	}
+	for v := range l.lowTab {
+		l.lowTab[v] = sliceHash(uint64(v)<<LineBits, g.sliceMasks)
+	}
+	l.tags = make([]uint64, locatorFrameSlots)
+	l.vals = make([]uint8, locatorFrameSlots)
+	return l
+}
+
+// sliceHash evaluates the XOR-tree slice hash over a physical address.
+func sliceHash(pa uint64, masks []uint64) uint8 {
+	var s uint8
+	for i, m := range masks {
+		s |= uint8(bits.OnesCount64(pa&m)&1) << uint(i)
+	}
+	return s
+}
+
+// Locate returns the line's slice and set, matching Geometry.Locate.
+func (l *Locator) Locate(la LineAddr) (slice, set int) {
+	set = int(uint64(la) & l.setMask)
+	if l.tags == nil {
+		return 0, set
+	}
+	frame := uint64(la) >> (PageBits - LineBits)
+	idx := frame & (locatorFrameSlots - 1)
+	if l.tags[idx] != frame+1 {
+		l.tags[idx] = frame + 1
+		l.vals[idx] = sliceHash(frame<<PageBits, l.masks)
+	}
+	return int(l.vals[idx] ^ l.lowTab[uint64(la)&(LinesPerPage-1)]), set
+}

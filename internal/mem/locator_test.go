@@ -1,0 +1,55 @@
+package mem
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestLocatorMatchesGeometry proves the memoizing Locator is exactly
+// equivalent to Geometry.Locate, including under frame-slot collisions.
+func TestLocatorMatchesGeometry(t *testing.T) {
+	for _, slices := range []int{1, 2, 4, 8} {
+		g := MustGeometry(slices, 1024)
+		l := g.NewLocator()
+		rng := rand.New(rand.NewSource(int64(slices)))
+		for i := 0; i < 200000; i++ {
+			var la LineAddr
+			switch i % 3 {
+			case 0: // dense low addresses
+				la = LineAddr(rng.Int63n(1 << 16))
+			case 1: // realistic pool range
+				la = LineAddr(rng.Int63n(1 << 26))
+			case 2: // frames colliding in the direct-mapped table
+				la = LineAddr(uint64(i%4)*locatorFrameSlots<<6 + uint64(rng.Int63n(1<<12)))
+			}
+			ws, wset := g.Locate(la)
+			gs, gset := l.Locate(la)
+			if ws != gs || wset != gset {
+				t.Fatalf("slices=%d la=%#x: Locator=(%d,%d) Geometry=(%d,%d)",
+					slices, uint64(la), gs, gset, ws, wset)
+			}
+		}
+	}
+}
+
+// BenchmarkLocatorLocate measures the memoized slice/set lookup on a small
+// hot working set, the common access pattern of channel sweeps.
+func BenchmarkLocatorLocate(b *testing.B) {
+	g := MustGeometry(8, 2048)
+	l := g.NewLocator()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l.Locate(LineAddr(i & 0xffff))
+	}
+}
+
+// BenchmarkGeometryLocate is the unmemoized baseline for comparison.
+func BenchmarkGeometryLocate(b *testing.B) {
+	g := MustGeometry(8, 2048)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.Locate(LineAddr(i & 0xffff))
+	}
+}

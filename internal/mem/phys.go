@@ -16,18 +16,24 @@ var ErrOutOfMemory = errors.New("mem: out of physical frames")
 //
 // PhysMem is deterministic for a given seed.
 type PhysMem struct {
-	frames []uint64 // shuffled free list of frame numbers
-	next   int      // next index into frames to hand out
-	synth  uint64   // next synthetic frame for contiguous reservations
+	// frames is the shuffled free list. Frame numbers are stored narrow
+	// (machine construction is shuffle-bandwidth bound in experiment
+	// sweeps); uint32 covers pools up to 16 TiB.
+	frames []uint32
+	next   int    // next index into frames to hand out
+	synth  uint64 // next synthetic frame for contiguous reservations
 }
 
 // NewPhysMem creates a pool with the given total size in bytes (rounded down
 // to whole pages), shuffled with the given seed.
 func NewPhysMem(totalBytes uint64, seed int64) *PhysMem {
 	n := totalBytes / PageSize
-	frames := make([]uint64, n)
+	if n > 1<<32 {
+		panic(fmt.Sprintf("mem: NewPhysMem(%d): pool exceeds 16 TiB frame limit", totalBytes))
+	}
+	frames := make([]uint32, n)
 	for i := range frames {
-		frames[i] = uint64(i)
+		frames[i] = uint32(i)
 	}
 	rng := rand.New(rand.NewSource(seed))
 	rng.Shuffle(len(frames), func(i, j int) {
@@ -47,7 +53,7 @@ func (pm *PhysMem) AllocFrame() (uint64, error) {
 	if pm.next >= len(pm.frames) {
 		return 0, ErrOutOfMemory
 	}
-	f := pm.frames[pm.next]
+	f := uint64(pm.frames[pm.next])
 	pm.next++
 	return f, nil
 }

@@ -16,7 +16,20 @@ type AddressSpace struct {
 	pm    *PhysMem
 	pages map[uint64]uint64 // virtual page -> physical frame
 	brk   uint64            // next free virtual page
+
+	// Direct-mapped software TLB over pages. Mappings are only ever added,
+	// never changed or removed, so cached entries can never go stale and
+	// the TLB needs no shootdown path.
+	tlbTags   [tlbSlots]uint64 // page+1 per slot; 0 = empty
+	tlbFrames [tlbSlots]uint64
+
+	// tlMemo caches TranslationLevels results for unmapped pages; adding a
+	// mapping can deepen a neighbouring walk, so mutators drop it wholesale.
+	tlMemo map[uint64]int
 }
+
+// tlbSlots sizes the translation cache; collisions just recompute.
+const tlbSlots = 1 << 9
 
 // NewAddressSpace creates an empty address space drawing frames from pm.
 func NewAddressSpace(pm *PhysMem) *AddressSpace {
@@ -43,6 +56,7 @@ func (as *AddressSpace) Alloc(size uint64) (VAddr, error) {
 		as.pages[base+i] = frame
 	}
 	as.brk += npages
+	as.tlMemo = nil
 	return VAddr(base << PageBits), nil
 }
 
@@ -62,15 +76,23 @@ func (as *AddressSpace) AllocContiguous(size uint64) (VAddr, error) {
 		as.pages[base+i] = first + i
 	}
 	as.brk += npages
+	as.tlMemo = nil
 	return VAddr(base << PageBits), nil
 }
 
 // Translate resolves a virtual address to its physical address.
 func (as *AddressSpace) Translate(va VAddr) (PAddr, error) {
-	frame, ok := as.pages[va.Page()]
+	page := va.Page()
+	idx := page & (tlbSlots - 1)
+	if as.tlbTags[idx] == page+1 {
+		return PAddr(as.tlbFrames[idx]<<PageBits | uint64(va)&(PageSize-1)), nil
+	}
+	frame, ok := as.pages[page]
 	if !ok {
 		return 0, fmt.Errorf("mem: page fault at %#x", uint64(va))
 	}
+	as.tlbTags[idx] = page + 1
+	as.tlbFrames[idx] = frame
 	return PAddr(frame<<PageBits | uint64(va)&(PageSize-1)), nil
 }
 
@@ -107,6 +129,7 @@ func (as *AddressSpace) MapShared(other *AddressSpace, base VAddr, size uint64) 
 	if end := start + npages; end > as.brk {
 		as.brk = end
 	}
+	as.tlMemo = nil
 	return nil
 }
 

@@ -46,6 +46,7 @@ func (as *AddressSpace) AllocAt(base VAddr, size uint64) error {
 	if end := start + npages; end > as.brk {
 		as.brk = end
 	}
+	as.tlMemo = nil
 	return nil
 }
 
@@ -55,19 +56,34 @@ func (as *AddressSpace) AllocAt(base VAddr, size uint64) error {
 // this depth — timing it leaks the layout of address spaces the prober
 // cannot read.
 func (as *AddressSpace) TranslationLevels(va VAddr) int {
-	if _, ok := as.pages[va.Page()]; ok {
+	page := va.Page()
+	if _, ok := as.pages[page]; ok {
 		return PageLevels
 	}
 	// An upper-level entry exists iff some mapped page shares the prefix.
 	// Address spaces here are small (thousands of pages), so a scan per
-	// level is acceptable; a production kernel would keep radix nodes.
+	// level is acceptable; KASLR probes hammer the same unmapped pages, so
+	// the depth is memoized per page (any mutator drops the whole memo,
+	// since a new mapping can deepen a neighbouring walk).
+	if depth, ok := as.tlMemo[page]; ok {
+		return depth
+	}
+	depth := 0
 	for level := PageLevels - 1; level >= 1; level-- {
 		want := levelPrefix(va, level)
-		for page := range as.pages {
-			if levelPrefix(VAddr(page<<PageBits), level) == want {
-				return level
+		for p := range as.pages {
+			if levelPrefix(VAddr(p<<PageBits), level) == want {
+				depth = level
+				break
 			}
 		}
+		if depth != 0 {
+			break
+		}
 	}
-	return 0
+	if as.tlMemo == nil {
+		as.tlMemo = make(map[uint64]int)
+	}
+	as.tlMemo[page] = depth
+	return depth
 }

@@ -1,0 +1,34 @@
+package policy
+
+import "testing"
+
+// BenchmarkQuadAgeScan measures the quad-age victim scan plus reinsertion on
+// a full 16-way set — the inner loop of every LLC eviction. Must stay
+// allocation-free.
+func BenchmarkQuadAgeScan(b *testing.B) {
+	s := NewQuadAge().NewSet(16)
+	for w := 0; w < 16; w++ {
+		s.OnFill(w, ClassLoad)
+	}
+	all := AllWays(16)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		v := s.Victim(all)
+		s.OnInvalidate(v)
+		s.OnFill(v, ClassLoad)
+	}
+}
+
+// BenchmarkQuadAgeHit measures the hit-promotion path.
+func BenchmarkQuadAgeHit(b *testing.B) {
+	s := NewQuadAge().NewSet(16)
+	for w := 0; w < 16; w++ {
+		s.OnFill(w, ClassLoad)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.OnHit(i&15, ClassLoad)
+	}
+}

@@ -36,14 +36,14 @@ func (s *bitPLRUSet) touch(way int) {
 
 // Victim implements SetState: first zero-bit evictable way, else first
 // evictable way.
-func (s *bitPLRUSet) Victim(evictable func(way int) bool) int {
+func (s *bitPLRUSet) Victim(evictable Mask) int {
 	for way, b := range s.mru {
-		if !b && evictable(way) {
+		if !b && evictable.Has(way) {
 			return way
 		}
 	}
 	for way := range s.mru {
-		if evictable(way) {
+		if evictable.Has(way) {
 			return way
 		}
 	}
@@ -58,6 +58,14 @@ func (s *bitPLRUSet) OnHit(way int, _ AccessClass) { s.touch(way) }
 
 // OnInvalidate implements SetState.
 func (s *bitPLRUSet) OnInvalidate(way int) { s.mru[way] = false }
+
+// AgeAt implements SetState: 1 for MRU bits.
+func (s *bitPLRUSet) AgeAt(way int) int {
+	if s.mru[way] {
+		return 1
+	}
+	return 0
+}
 
 // Snapshot implements SetState: 1 for MRU bits.
 func (s *bitPLRUSet) Snapshot() []int {

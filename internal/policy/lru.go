@@ -31,10 +31,10 @@ func (s *lruSet) touch(way int) {
 }
 
 // Victim implements SetState: oldest evictable way.
-func (s *lruSet) Victim(evictable func(way int) bool) int {
+func (s *lruSet) Victim(evictable Mask) int {
 	best, bestStamp := -1, int64(0)
 	for way, st := range s.stamp {
-		if !evictable(way) {
+		if !evictable.Has(way) {
 			continue
 		}
 		if best == -1 || st < bestStamp {
@@ -52,6 +52,17 @@ func (s *lruSet) OnHit(way int, _ AccessClass) { s.touch(way) }
 
 // OnInvalidate implements SetState.
 func (s *lruSet) OnInvalidate(way int) { s.stamp[way] = -1 }
+
+// AgeAt implements SetState: recency rank, 0 = most recent.
+func (s *lruSet) AgeAt(way int) int {
+	rank := 0
+	for j := range s.stamp {
+		if s.stamp[j] > s.stamp[way] {
+			rank++
+		}
+	}
+	return rank
+}
 
 // Snapshot implements SetState: recency rank, 0 = most recent.
 func (s *lruSet) Snapshot() []int {

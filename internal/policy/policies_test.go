@@ -58,11 +58,11 @@ func TestTreePLRUFallbackWhenVictimPinned(t *testing.T) {
 	for w := 0; w < 4; w++ {
 		s.OnFill(w, ClassLoad)
 	}
-	v := s.Victim(func(w int) bool { return w != 0 })
+	v := s.Victim(allEvictable.Without(0))
 	if v == 0 || v == -1 {
 		t.Fatalf("victim = %d, want an evictable way != 0", v)
 	}
-	if v := s.Victim(func(int) bool { return false }); v != -1 {
+	if v := s.Victim(Mask(0)); v != -1 {
 		t.Fatalf("victim with nothing evictable = %d, want -1", v)
 	}
 }
@@ -170,7 +170,7 @@ func TestRandomVictimEvictableOnly(t *testing.T) {
 	s := p.NewSet(8)
 	counts := make([]int, 8)
 	for i := 0; i < 400; i++ {
-		v := s.Victim(func(w int) bool { return w%2 == 0 })
+		v := s.Victim(evenWays)
 		if v%2 != 0 {
 			t.Fatalf("victim %d is not evictable", v)
 		}
@@ -182,7 +182,7 @@ func TestRandomVictimEvictableOnly(t *testing.T) {
 			t.Errorf("way %d never chosen in 400 draws", w)
 		}
 	}
-	if v := s.Victim(func(int) bool { return false }); v != -1 {
+	if v := s.Victim(Mask(0)); v != -1 {
 		t.Fatalf("victim = %d, want -1", v)
 	}
 }

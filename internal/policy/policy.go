@@ -37,6 +37,26 @@ func (c AccessClass) String() string {
 	return "unknown"
 }
 
+// Mask is a bitset of way indices: bit w set means way w is evictable.
+// Masks keep the per-fill victim selection allocation-free — the cache
+// builds one word instead of a closure for every eviction decision.
+// Way counts are therefore capped at 64, far above any real associativity.
+type Mask uint64
+
+// AllWays returns the mask with the low `ways` bits set.
+func AllWays(ways int) Mask {
+	if ways >= 64 {
+		return ^Mask(0)
+	}
+	return Mask(1)<<uint(ways) - 1
+}
+
+// Has reports whether way is in the mask.
+func (m Mask) Has(way int) bool { return m>>uint(way)&1 != 0 }
+
+// Without returns the mask with way removed.
+func (m Mask) Without(way int) Mask { return m &^ (1 << uint(way)) }
+
 // Policy is a factory for per-set replacement state.
 type Policy interface {
 	// Name identifies the policy in experiment output.
@@ -50,11 +70,12 @@ type Policy interface {
 // guarantees way indices are in range and that OnFill follows a Victim (or
 // targets an invalid way).
 type SetState interface {
-	// Victim selects the way to evict, consulting evictable to skip ways
-	// that cannot currently be replaced (invalid ways are never passed in
-	// here — the cache fills those directly). It returns -1 if no way is
-	// evictable. Victim may mutate state (e.g. quad-age aging).
-	Victim(evictable func(way int) bool) int
+	// Victim selects the way to evict, consulting the evictable mask to
+	// skip ways that cannot currently be replaced (invalid ways are never
+	// masked in here for their own sake — the cache fills those directly).
+	// It returns -1 if no way is evictable. Victim may mutate state
+	// (e.g. quad-age aging).
+	Victim(evictable Mask) int
 	// OnFill records that a line of the given class was installed in way.
 	OnFill(way int, cls AccessClass)
 	// OnHit records a hit of the given class on way.
@@ -62,6 +83,9 @@ type SetState interface {
 	// OnInvalidate clears any per-way state when a line is removed
 	// without replacement (flush or back-invalidation).
 	OnInvalidate(way int)
+	// AgeAt returns one way's metadata value (age/rank) without
+	// allocating; -1 marks "no meaningful value".
+	AgeAt(way int) int
 	// Snapshot exposes per-way metadata (ages/ranks) for tracing. The
 	// meaning is policy-specific; -1 marks "no meaningful value".
 	Snapshot() []int

@@ -53,27 +53,38 @@ func (q *QuadAge) Name() string {
 
 // NewSet implements Policy.
 func (q *QuadAge) NewSet(ways int) SetState {
-	ages := make([]int, ways)
+	ages := make([]int8, ways)
 	for i := range ages {
 		ages[i] = -1
 	}
-	return &quadAgeSet{cfg: q, ages: ages}
+	return &quadAgeSet{
+		maxAge:        int8(q.MaxAge),
+		loadAge:       int8(q.LoadAge),
+		ntaAge:        int8(q.NTAAge),
+		hwAge:         int8(q.HWAge),
+		ntaHitUpdates: q.NTAHitUpdates,
+		ages:          ages,
+	}
 }
 
+// quadAgeSet keeps the insertion parameters denormalized into small fields
+// and the ages as a flat int8 array so the victim scan stays in one or two
+// cache lines even for wide LLC sets.
 type quadAgeSet struct {
-	cfg  *QuadAge
-	ages []int // -1 for invalid ways
+	maxAge, loadAge, ntaAge, hwAge int8
+	ntaHitUpdates                  bool
+	ages                           []int8 // -1 for invalid ways
 }
 
 // insertAge maps an access class to its insertion age.
-func (s *quadAgeSet) insertAge(cls AccessClass) int {
+func (s *quadAgeSet) insertAge(cls AccessClass) int8 {
 	switch cls {
 	case ClassNTA:
-		return s.cfg.NTAAge
+		return s.ntaAge
 	case ClassHW:
-		return s.cfg.HWAge
+		return s.hwAge
 	default:
-		return s.cfg.LoadAge
+		return s.loadAge
 	}
 }
 
@@ -81,15 +92,8 @@ func (s *quadAgeSet) insertAge(cls AccessClass) int {
 // non-evictable by the cache) are skipped exactly as hardware skips lines
 // with outstanding fills — the effect the paper leans on when it spaces out
 // sender and receiver prefetches.
-func (s *quadAgeSet) Victim(evictable func(way int) bool) int {
-	anyEvictable := false
-	for way := range s.ages {
-		if evictable(way) {
-			anyEvictable = true
-			break
-		}
-	}
-	if !anyEvictable {
+func (s *quadAgeSet) Victim(evictable Mask) int {
+	if evictable&AllWays(len(s.ages)) == 0 {
 		return -1
 	}
 	// The aging loop terminates: each round either finds a max-age
@@ -97,21 +101,21 @@ func (s *quadAgeSet) Victim(evictable func(way int) bool) int {
 	// MaxAge rounds some evictable way has age MaxAge.
 	for round := 0; ; round++ {
 		for way, age := range s.ages {
-			if age >= s.cfg.MaxAge && evictable(way) {
+			if age >= s.maxAge && evictable.Has(way) {
 				return way
 			}
 		}
 		for way, age := range s.ages {
-			if age >= 0 && age < s.cfg.MaxAge {
+			if age >= 0 && age < s.maxAge {
 				s.ages[way] = age + 1
 			}
 		}
-		if round > s.cfg.MaxAge {
+		if round > int(s.maxAge) {
 			// All evictable ways are pinned below MaxAge only if
 			// MaxAge saturation already happened; fall back to the
 			// first evictable way to stay total.
 			for way := range s.ages {
-				if evictable(way) {
+				if evictable.Has(way) {
 					return way
 				}
 			}
@@ -126,7 +130,7 @@ func (s *quadAgeSet) OnFill(way int, cls AccessClass) {
 
 // OnHit implements SetState.
 func (s *quadAgeSet) OnHit(way int, cls AccessClass) {
-	if cls == ClassNTA && !s.cfg.NTAHitUpdates {
+	if cls == ClassNTA && !s.ntaHitUpdates {
 		return // Property #2: an NTA hit leaves the age untouched.
 	}
 	if s.ages[way] > 0 {
@@ -139,9 +143,14 @@ func (s *quadAgeSet) OnInvalidate(way int) {
 	s.ages[way] = -1
 }
 
+// AgeAt implements SetState.
+func (s *quadAgeSet) AgeAt(way int) int { return int(s.ages[way]) }
+
 // Snapshot implements SetState; it returns the raw ages.
 func (s *quadAgeSet) Snapshot() []int {
 	out := make([]int, len(s.ages))
-	copy(out, s.ages)
+	for i, a := range s.ages {
+		out[i] = int(a)
+	}
 	return out
 }

@@ -5,8 +5,28 @@ import (
 	"testing/quick"
 )
 
-// allEvictable is the common no-restriction predicate.
-func allEvictable(int) bool { return true }
+// allEvictable is the common no-restriction mask (covers any test way count).
+var allEvictable = AllWays(64)
+
+// evenWays restricts eviction to even way indices.
+var evenWays = func() Mask {
+	var m Mask
+	for w := 0; w < 64; w += 2 {
+		m |= 1 << uint(w)
+	}
+	return m
+}()
+
+// maskOf converts a per-way bool slice into an evictability mask.
+func maskOf(ok []bool) Mask {
+	var m Mask
+	for w, v := range ok {
+		if v {
+			m |= Mask(1) << uint(w)
+		}
+	}
+	return m
+}
 
 // fillSet fills ways 0..n-1 with loads.
 func fillSet(s SetState, n int) {
@@ -171,7 +191,7 @@ func TestQuadAgeVictimSkipsInFlight(t *testing.T) {
 	s.OnFill(1, ClassNTA)
 	// Way 1 is the candidate but is in flight: the policy must pick
 	// another way rather than stall forever.
-	v := s.Victim(func(w int) bool { return w != 1 })
+	v := s.Victim(allEvictable.Without(1))
 	if v == 1 {
 		t.Fatal("picked an in-flight way")
 	}
@@ -179,7 +199,7 @@ func TestQuadAgeVictimSkipsInFlight(t *testing.T) {
 		t.Fatal("no victim found although three ways are evictable")
 	}
 	// Nothing evictable: -1.
-	if v := s.Victim(func(int) bool { return false }); v != -1 {
+	if v := s.Victim(Mask(0)); v != -1 {
 		t.Fatalf("victim with nothing evictable = %d, want -1", v)
 	}
 }
@@ -274,7 +294,7 @@ func TestQuadAgeInvariants(t *testing.T) {
 				anyValid = anyValid || v
 			}
 			if anyValid {
-				v := s.Victim(func(w int) bool { return valid[w] })
+				v := s.Victim(maskOf(valid[:]))
 				if v < 0 || v >= ways || !valid[v] {
 					return false
 				}

@@ -24,18 +24,30 @@ type randomSet struct {
 	rng  *rand.Rand
 }
 
-// Victim implements SetState.
-func (s *randomSet) Victim(evictable func(way int) bool) int {
-	candidates := make([]int, 0, s.ways)
+// Victim implements SetState. The draw is Intn over the candidate count —
+// the same RNG consumption as the historical slice-building version, so
+// seeded runs stay byte-identical — followed by a second scan selecting
+// the k-th evictable way without allocating.
+func (s *randomSet) Victim(evictable Mask) int {
+	count := 0
 	for way := 0; way < s.ways; way++ {
-		if evictable(way) {
-			candidates = append(candidates, way)
+		if evictable.Has(way) {
+			count++
 		}
 	}
-	if len(candidates) == 0 {
+	if count == 0 {
 		return -1
 	}
-	return candidates[s.rng.Intn(len(candidates))]
+	k := s.rng.Intn(count)
+	for way := 0; way < s.ways; way++ {
+		if evictable.Has(way) {
+			if k == 0 {
+				return way
+			}
+			k--
+		}
+	}
+	return -1
 }
 
 // OnFill implements SetState.
@@ -46,6 +58,9 @@ func (*randomSet) OnHit(int, AccessClass) {}
 
 // OnInvalidate implements SetState.
 func (*randomSet) OnInvalidate(int) {}
+
+// AgeAt implements SetState.
+func (*randomSet) AgeAt(int) int { return 0 }
 
 // Snapshot implements SetState.
 func (s *randomSet) Snapshot() []int { return make([]int, s.ways) }

@@ -38,20 +38,13 @@ type srripSet struct {
 }
 
 // Victim implements SetState with the standard RRIP search-and-age loop.
-func (s *srripSet) Victim(evictable func(way int) bool) int {
-	any := false
-	for way := range s.rrpv {
-		if evictable(way) {
-			any = true
-			break
-		}
-	}
-	if !any {
+func (s *srripSet) Victim(evictable Mask) int {
+	if evictable&AllWays(len(s.rrpv)) == 0 {
 		return -1
 	}
 	for {
 		for way, v := range s.rrpv {
-			if v >= s.cfg.MaxRRPV && evictable(way) {
+			if v >= s.cfg.MaxRRPV && evictable.Has(way) {
 				return way
 			}
 		}
@@ -64,7 +57,7 @@ func (s *srripSet) Victim(evictable func(way int) bool) int {
 		}
 		if !aged {
 			for way := range s.rrpv {
-				if evictable(way) {
+				if evictable.Has(way) {
 					return way
 				}
 			}
@@ -92,6 +85,9 @@ func (s *srripSet) OnHit(way int, _ AccessClass) {
 
 // OnInvalidate implements SetState.
 func (s *srripSet) OnInvalidate(way int) { s.rrpv[way] = -1 }
+
+// AgeAt implements SetState: the raw RRPV.
+func (s *srripSet) AgeAt(way int) int { return s.rrpv[way] }
 
 // Snapshot implements SetState: raw RRPVs.
 func (s *srripSet) Snapshot() []int {

@@ -52,11 +52,9 @@ func (s *treePLRUSet) touch(way int) {
 	}
 }
 
-// Victim follows the direction bits to the PLRU leaf. If that leaf is not
-// evictable it falls back to the first evictable way — hardware stalls
-// instead, but the distinction never matters at the private levels where
-// this policy is used.
-func (s *treePLRUSet) Victim(evictable func(way int) bool) int {
+// victimLeaf follows the direction bits to the PLRU leaf without mutating
+// any state.
+func (s *treePLRUSet) victimLeaf() int {
 	idx := 0
 	lo, hi := 0, s.ways
 	for hi-lo > 1 {
@@ -69,11 +67,19 @@ func (s *treePLRUSet) Victim(evictable func(way int) bool) int {
 			hi = mid
 		}
 	}
-	if evictable(lo) {
-		return lo
+	return lo
+}
+
+// Victim follows the direction bits to the PLRU leaf. If that leaf is not
+// evictable it falls back to the first evictable way — hardware stalls
+// instead, but the distinction never matters at the private levels where
+// this policy is used.
+func (s *treePLRUSet) Victim(evictable Mask) int {
+	if leaf := s.victimLeaf(); evictable.Has(leaf) {
+		return leaf
 	}
 	for way := 0; way < s.ways; way++ {
-		if evictable(way) {
+		if evictable.Has(way) {
 			return way
 		}
 	}
@@ -91,14 +97,19 @@ func (s *treePLRUSet) OnHit(way int, _ AccessClass) { s.touch(way) }
 // victim.
 func (s *treePLRUSet) OnInvalidate(int) {}
 
+// AgeAt implements SetState: 1 for the victim-path leaf, 0 elsewhere.
+func (s *treePLRUSet) AgeAt(way int) int {
+	if s.victimLeaf() == way {
+		return 1
+	}
+	return 0
+}
+
 // Snapshot implements SetState. Tree-PLRU has no per-way rank; report the
 // victim-path leaf as 1 and everything else as 0 so traces show the
 // candidate.
 func (s *treePLRUSet) Snapshot() []int {
 	out := make([]int, s.ways)
-	v := s.Victim(func(int) bool { return true })
-	if v >= 0 {
-		out[v] = 1
-	}
+	out[s.victimLeaf()] = 1
 	return out
 }

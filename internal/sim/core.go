@@ -20,6 +20,10 @@ type Core struct {
 	// AS is the agent's address space.
 	AS  *mem.AddressSpace
 	now int64
+	// runLimit is the batching bound set by the machine at resume: the
+	// agent keeps executing without yielding until its clock exceeds it
+	// (see Machine.batchLimit).
+	runLimit int64
 }
 
 // Now returns the core's current cycle as the agent perceives it: the
@@ -45,13 +49,20 @@ func (c *Core) emitTimed(kind string, start, t int64) {
 	c.m.tr.Emit(e)
 }
 
-// step performs the scheduling handshake and advances the local clock,
-// applying any scheduled disturbances that have come due.
+// step advances the local clock, applies any scheduled disturbances that
+// have come due, and hands control back to the machine only once the clock
+// passes the batching bound — every op remains a scheduling point
+// semantically, but the handshake is skipped while this agent would be
+// re-picked anyway.
 func (c *Core) step(cost int64) {
 	c.now += cost
-	c.accrueDrift(cost)
-	c.applyFaults()
-	c.agent.yield()
+	if c.agent.faults != nil {
+		c.accrueDrift(cost)
+		c.applyFaults()
+	}
+	if c.now > c.runLimit {
+		c.agent.yield()
+	}
 }
 
 // Load performs a demand load and returns the hierarchy result.
@@ -98,7 +109,7 @@ func (c *Core) Fence() {
 // returned (and charged) cycles are latency + timer overhead + jitter,
 // matching how the paper's numbers include measurement cost.
 func (c *Core) timed(lat int64) int64 {
-	cfg := c.m.H.Config().Lat
+	cfg := c.m.H.Lat()
 	t := lat + cfg.TimerOverhead
 	if cfg.TimerJit > 0 {
 		t += c.m.rng.Int63n(2*cfg.TimerJit+1) - cfg.TimerJit
@@ -150,7 +161,7 @@ func (c *Core) TimedPrefetchProbe(va mem.VAddr) int64 {
 			depth = d
 		}
 	}
-	lat := c.m.H.Config().Lat
+	lat := c.m.H.Lat()
 	t := c.timed(lat.PTWalkBase + int64(depth)*lat.PTWalkStep)
 	c.emitTimed("timed-probe", c.now, t)
 	c.step(t)
@@ -183,10 +194,15 @@ func (c *Core) WaitUntil(t int64) {
 		e.Agent, e.Core, e.Dur = c.agent.Name, c.ID, waited
 		c.m.tr.Emit(e)
 	}
-	c.accrueDrift(target - c.now)
+	elapsed := target - c.now
 	c.now = target
-	c.applyFaults()
-	c.agent.yield()
+	if c.agent.faults != nil {
+		c.accrueDrift(elapsed)
+		c.applyFaults()
+	}
+	if c.now > c.runLimit {
+		c.agent.yield()
+	}
 }
 
 // Alloc reserves size bytes in the agent's address space.

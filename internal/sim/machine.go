@@ -8,6 +8,7 @@ package sim
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 	"runtime/debug"
 	"sort"
@@ -195,6 +196,13 @@ func (m *Machine) Run() {
 			// agent's turn land on its track.
 			m.H.SetTraceAgent(a.Name, a.core.ID)
 		}
+		// Batched run-until-blocked: let the agent keep executing ops
+		// without a channel handshake for as long as it would remain
+		// nextRunnable's pick anyway. This removes two goroutine context
+		// switches per memory operation — the dominant cost of the
+		// handshake-per-op design — while preserving the exact op
+		// interleaving, RNG draw order and trace stream.
+		a.core.runLimit = m.batchLimit(a)
 		a.resume <- struct{}{}
 		<-a.yielded
 		if a.done && a.err != nil {
@@ -238,6 +246,35 @@ func (m *Machine) nextRunnable() *Agent {
 		}
 	}
 	return best
+}
+
+// batchLimit computes how far agent a's clock may advance while it is still
+// the agent nextRunnable would pick. Ties go to the earliest-spawned agent,
+// so a must stay strictly below every earlier live agent's clock and at or
+// below every later one's. When no other agent is live the limit is
+// unbounded and a runs to completion in a single resume.
+func (m *Machine) batchLimit(a *Agent) int64 {
+	limit := int64(math.MaxInt64)
+	seenSelf := false
+	for _, b := range m.agents {
+		if b == a {
+			seenSelf = true
+			continue
+		}
+		if b.done {
+			continue
+		}
+		bound := b.core.now
+		if !seenSelf {
+			// b spawned earlier: it wins clock ties, so a must stay
+			// strictly below it.
+			bound--
+		}
+		if bound < limit {
+			limit = bound
+		}
+	}
+	return limit
 }
 
 // killAll tears down any still-running agents (daemons). The expected
