@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: all build vet fmt-check staticcheck test race fuzz-smoke trace-smoke verify bench bench-jobs bench-check bench-baseline cover clean
+.PHONY: all build vet fmt-check staticcheck test race fuzz-smoke trace-smoke template-validate verify bench bench-jobs bench-check bench-baseline cover clean
 
 all: verify
 
@@ -40,11 +40,18 @@ staticcheck:
 		echo "staticcheck not installed; skipping"; \
 	fi
 
-# Short fuzz runs over the wire-format decoders (go test takes one -fuzz
-# pattern per invocation, hence one command per target).
+# Short fuzz runs over the wire-format decoders and the scenario template
+# loader (go test takes one -fuzz pattern per invocation, hence one
+# command per target).
 fuzz-smoke:
 	$(GO) test ./internal/channel -run '^$$' -fuzz FuzzFrameDecode -fuzztime 5s
 	$(GO) test ./internal/channel -run '^$$' -fuzz FuzzAckDecode -fuzztime 5s
+	$(GO) test ./internal/scenario -run '^$$' -fuzz FuzzLoadScenario -fuzztime 5s
+
+# Shipped-template gate: every template under templates/ must load through
+# the strict parser/validator via the real CLI entry point.
+template-validate:
+	$(GO) run ./cmd/leakyway -template templates/ validate
 
 # Traced-run determinism gate: the same traced fig8 run at -jobs 1 and
 # -jobs 8 must export byte-identical traces. Filtered to the protocol-level
@@ -58,7 +65,7 @@ trace-smoke:
 	cmp /tmp/leakyway-trace-j1.jsonl /tmp/leakyway-trace-j8.jsonl
 	@echo "trace-smoke: traces byte-identical across -jobs 1/8"
 
-verify: build vet fmt-check staticcheck test race fuzz-smoke trace-smoke
+verify: build vet fmt-check staticcheck test race fuzz-smoke trace-smoke template-validate
 
 # Full benchmark sweep (quick-mode trial counts).
 bench:

@@ -5,13 +5,18 @@
 //
 // Usage:
 //
-//	leakyway list                 # show available experiments
-//	leakyway run fig8 table2      # run specific experiments
-//	leakyway run all              # run the full suite
+//	leakyway list                            # show available experiments
+//	leakyway run fig8 table2                 # run specific experiments
+//	leakyway run all                         # run the full suite
+//	leakyway -template templates/ run        # run declarative scenario templates
+//	leakyway -template templates/ validate   # check templates without running
+//
+// Exit codes: 0 success, 1 error, 2 usage, 3 template assertions failed.
 //
 // Flags:
 //
 //	-platform skylake|kabylake|both   platforms to simulate (default both)
+//	-template FILE|DIR                scenario template(s) for run/validate
 //	-seed N                           master seed (default 42)
 //	-quick                            reduced trial counts
 //	-jobs N                           worker goroutines (default NumCPU);
@@ -30,6 +35,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -43,6 +49,15 @@ import (
 	"leakyway"
 )
 
+// Exit codes: 0 success, 1 infrastructure error, 2 usage error, 3 template
+// assertion failure. Code 3 lets CI distinguish "the harness broke" from
+// "the experiment ran but its declared expectations did not hold".
+const exitAssertFailed = 3
+
+// errAssertionsFailed marks a run whose template assertions failed; the
+// run itself completed and all exports were written.
+var errAssertionsFailed = errors.New("template assertions failed")
+
 func main() { os.Exit(mainRun()) }
 
 // mainRun is main with an exit code, so profile-flushing defers run even on
@@ -53,6 +68,7 @@ func mainRun() int {
 	flag.Int64Var(&opt.seed, "seed", 42, "master seed for all stochastic elements")
 	flag.BoolVar(&opt.quick, "quick", false, "run with reduced trial counts")
 	flag.IntVar(&opt.jobs, "jobs", runtime.NumCPU(), "worker goroutines; results do not depend on this")
+	flag.StringVar(&opt.template, "template", "", "scenario template file or directory (run/validate)")
 	flag.StringVar(&opt.jsonPath, "json", "", "write metrics of every run experiment to this file as JSON")
 	flag.StringVar(&opt.tracePath, "trace", "", "write a cycle-level event trace to this file (.jsonl = JSONL, else Chrome trace-event JSON)")
 	flag.StringVar(&opt.traceFilter, "trace-filter", "", "comma-separated trace subsystems: hier,sim,fault,channel (default all)")
@@ -110,11 +126,27 @@ func mainRun() int {
 	case "list":
 		list()
 	case "run":
-		if len(args) < 2 {
-			fmt.Fprintln(os.Stderr, "run: need experiment IDs or 'all'")
+		if opt.template != "" && len(args) > 1 {
+			fmt.Fprintln(os.Stderr, "run: pass experiment IDs or -template, not both")
+			return 2
+		}
+		if opt.template == "" && len(args) < 2 {
+			fmt.Fprintln(os.Stderr, "run: need experiment IDs, 'all', or -template <file|dir>")
 			return 2
 		}
 		if err := run(args[1:], opt, os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			if errors.Is(err, errAssertionsFailed) {
+				return exitAssertFailed
+			}
+			return 1
+		}
+	case "validate":
+		if opt.template == "" {
+			fmt.Fprintln(os.Stderr, "validate: need -template <file|dir>")
+			return 2
+		}
+		if err := validate(opt.template, os.Stdout); err != nil {
 			fmt.Fprintln(os.Stderr, "error:", err)
 			return 1
 		}
@@ -126,12 +158,28 @@ func mainRun() int {
 	return 0
 }
 
+// validate loads every template under path, reporting each scenario it
+// accepts. Any malformed template fails the whole pass with its file and
+// field context.
+func validate(path string, out io.Writer) error {
+	specs, err := leakyway.LoadScenarios(path)
+	if err != nil {
+		return err
+	}
+	for _, s := range specs {
+		fmt.Fprintf(out, "  ok  %-14s %s\n", s.ID, s.Title)
+	}
+	fmt.Fprintf(out, "%d template(s) valid\n", len(specs))
+	return nil
+}
+
 // options carries the flag values that shape a run.
 type options struct {
 	platform    string
 	seed        int64
 	quick       bool
 	jobs        int
+	template    string
 	jsonPath    string
 	tracePath   string
 	traceFilter string
@@ -143,10 +191,14 @@ type options struct {
 func usage() {
 	fmt.Fprintf(os.Stderr, `leakyway — reproduction of "Leaky Way" (MICRO 2022)
 
-usage:
+usage (flags come before the command):
   leakyway [flags] list
   leakyway [flags] run <experiment>...
   leakyway [flags] run all
+  leakyway -template <file|dir> [flags] run
+  leakyway -template <file|dir> validate
+
+exit codes: 0 success, 1 error, 2 usage, 3 template assertions failed
 
 flags:
 `)
@@ -162,9 +214,11 @@ func list() {
 
 func run(ids []string, opt options, out io.Writer) (err error) {
 	// Output files are created up front (fail fast on a bad path) but a
-	// failed run must not leave stale exports behind.
+	// failed run must not leave stale exports behind. An assertion failure
+	// is not an infrastructure failure: the run completed, so its exports
+	// stay.
 	defer func() {
-		if err != nil {
+		if err != nil && !errors.Is(err, errAssertionsFailed) {
 			if opt.jsonPath != "" {
 				os.Remove(opt.jsonPath)
 			}
@@ -173,6 +227,13 @@ func run(ids []string, opt options, out io.Writer) (err error) {
 			}
 		}
 	}()
+	var specs []*leakyway.Scenario
+	if opt.template != "" {
+		specs, err = leakyway.LoadScenarios(opt.template)
+		if err != nil {
+			return err
+		}
+	}
 	ctx := leakyway.NewExperimentContext(out)
 	ctx.Seed = opt.seed
 	ctx.Quick = opt.quick
@@ -219,13 +280,20 @@ func run(ids []string, opt options, out io.Writer) (err error) {
 	}
 
 	results := map[string]*leakyway.ExperimentResult{}
-	if len(ids) == 1 && ids[0] == "all" {
+	switch {
+	case specs != nil:
+		all, err := leakyway.RunScenarios(ctx, specs)
+		if err != nil {
+			return err
+		}
+		results = all
+	case len(ids) == 1 && ids[0] == "all":
 		all, err := leakyway.RunAllExperiments(ctx)
 		if err != nil {
 			return err
 		}
 		results = all
-	} else {
+	default:
 		for _, id := range ids {
 			res, err := leakyway.RunExperiment(ctx, id)
 			if err != nil {
@@ -244,6 +312,38 @@ func run(ids []string, opt options, out io.Writer) (err error) {
 		if err := exportTrace(traceFile, opt.tracePath, ctx.Trace, out); err != nil {
 			return fmt.Errorf("trace export: %w", err)
 		}
+	}
+	return checkAssertions(specs, results, out)
+}
+
+// checkAssertions evaluates every template's extractors and assertions
+// against its completed run, after the report and all exports. A failing
+// assertion maps to the dedicated exit code, not to a generic error.
+func checkAssertions(specs []*leakyway.Scenario, results map[string]*leakyway.ExperimentResult, out io.Writer) error {
+	failed := 0
+	printed := false
+	for _, s := range specs {
+		if len(s.Extract) == 0 && len(s.Assert) == 0 {
+			continue
+		}
+		res := results[s.ID]
+		if res == nil {
+			continue
+		}
+		if !printed {
+			fmt.Fprintf(out, "\ntemplate checks:\n")
+			printed = true
+		}
+		ev := s.Evaluate(res.Report, res.Metrics)
+		status := "PASS"
+		if ev.Failed > 0 {
+			status = "FAIL"
+		}
+		fmt.Fprintf(out, "%s %s\n%s", status, s.ID, ev.Render())
+		failed += ev.Failed
+	}
+	if failed > 0 {
+		return fmt.Errorf("%w: %d assertion(s) did not hold", errAssertionsFailed, failed)
 	}
 	return nil
 }

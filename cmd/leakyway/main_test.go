@@ -3,9 +3,12 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
+	"fmt"
 	"io"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 )
 
@@ -201,5 +204,138 @@ func TestFailedRunRemovesOutputFiles(t *testing.T) {
 		if _, err := os.Stat(p); !os.IsNotExist(err) {
 			t.Errorf("failed run left %s behind (stat err: %v)", p, err)
 		}
+	}
+}
+
+// pipelineTemplate is a small fast scenario for CLI template tests; the
+// gt-100 assertion variant below is guaranteed to fail (pipeline_errors
+// is 0 on the quiet channel).
+const pipelineTemplate = `id: cli-demo
+title: CLI demo scenario
+kind: pipeline
+channel:
+  noise_period: 0
+pipeline:
+  message: "1011"
+assert:
+  - metric: pipeline_errors
+    op: %s
+    value: %s
+`
+
+func writeTemplate(t *testing.T, name, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestRunTemplate runs a template end to end through the CLI path: the
+// report must carry the scenario banner and the template-checks block
+// with a PASS verdict.
+func TestRunTemplate(t *testing.T) {
+	path := writeTemplate(t, "demo.yaml", fmt.Sprintf(pipelineTemplate, "eq", "0"))
+	var out bytes.Buffer
+	opt := options{platform: "skylake", seed: 42, quick: true, template: path}
+	if err := run(nil, opt, &out); err != nil {
+		t.Fatalf("template run failed: %v\n%s", err, out.String())
+	}
+	for _, want := range []string{"cli-demo — CLI demo scenario", "template checks:", "PASS cli-demo", "metric pipeline_errors eq 0 (got 0)"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("report lacks %q:\n%s", want, out.String())
+		}
+	}
+}
+
+// TestRunTemplateAssertionFailure: a failing assertion must map to the
+// dedicated sentinel (exit code 3 in main), and — unlike an infrastructure
+// error — must keep the run's exports, because the run itself completed.
+func TestRunTemplateAssertionFailure(t *testing.T) {
+	path := writeTemplate(t, "fail.yaml", fmt.Sprintf(pipelineTemplate, "gt", "100"))
+	jsonPath := filepath.Join(t.TempDir(), "m.json")
+	var out bytes.Buffer
+	opt := options{platform: "skylake", seed: 42, quick: true, template: path, jsonPath: jsonPath}
+	err := run(nil, opt, &out)
+	if err == nil {
+		t.Fatalf("failing assertion accepted:\n%s", out.String())
+	}
+	if !errors.Is(err, errAssertionsFailed) {
+		t.Fatalf("error is not errAssertionsFailed (exit code 3): %v", err)
+	}
+	if !strings.Contains(out.String(), "FAIL cli-demo") {
+		t.Errorf("report lacks the FAIL verdict:\n%s", out.String())
+	}
+	if _, serr := os.Stat(jsonPath); serr != nil {
+		t.Errorf("assertion failure removed the metrics export: %v", serr)
+	}
+}
+
+// TestRunTemplateLoadErrorIsInfra: a malformed template is an
+// infrastructure error (exit 1), not an assertion failure (exit 3).
+func TestRunTemplateLoadErrorIsInfra(t *testing.T) {
+	path := writeTemplate(t, "broken.yaml", "id: x\ntitle: T\nkind: warp\n")
+	err := run(nil, options{platform: "skylake", seed: 1, quick: true, template: path}, io.Discard)
+	if err == nil {
+		t.Fatal("malformed template accepted")
+	}
+	if errors.Is(err, errAssertionsFailed) {
+		t.Fatalf("load error misclassified as assertion failure: %v", err)
+	}
+	if !strings.Contains(err.Error(), "kind") {
+		t.Errorf("error lacks the field path: %v", err)
+	}
+}
+
+// TestValidateShippedTemplates is the `leakyway validate -template
+// templates/` smoke test over the shipped pack.
+func TestValidateShippedTemplates(t *testing.T) {
+	var out bytes.Buffer
+	if err := validate(filepath.Join("..", "..", "templates"), &out); err != nil {
+		t.Fatalf("shipped templates invalid: %v", err)
+	}
+	for _, want := range []string{"ok  fig6", "ok  fig8", "ok  faults", "template(s) valid"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("validate output lacks %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestValidateBadTemplate(t *testing.T) {
+	path := writeTemplate(t, "broken.yaml", "id: x\ntitle: T\nkind: warp\n")
+	var out bytes.Buffer
+	if err := validate(path, &out); err == nil {
+		t.Fatal("malformed template accepted")
+	} else if !strings.Contains(err.Error(), path) {
+		t.Errorf("error does not name the file: %v", err)
+	}
+}
+
+// TestRunTemplateJobsIdenticalOutput extends the CLI determinism check to
+// template mode: a template pack run at -jobs 1 and -jobs 4 must render
+// byte-identical reports.
+func TestRunTemplateJobsIdenticalOutput(t *testing.T) {
+	dir := t.TempDir()
+	for _, f := range []struct{ name, doc string }{
+		{"a.yaml", fmt.Sprintf(pipelineTemplate, "eq", "0")},
+		{"b.yaml", "id: cli-walk\ntitle: Walk\nkind: statewalk\nstatewalk:\n" +
+			"  message: \"10\"\n  calibrate_samples: 8\n  receiver_ready: 30000\n  phase_step: 5000\n"},
+	} {
+		if err := os.WriteFile(filepath.Join(dir, f.name), []byte(f.doc), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	outs := map[int]string{}
+	for _, jobs := range []int{1, 4} {
+		var buf bytes.Buffer
+		opt := options{platform: "skylake", seed: 42, quick: true, jobs: jobs, template: dir}
+		if err := run(nil, opt, &buf); err != nil {
+			t.Fatalf("jobs=%d: %v", jobs, err)
+		}
+		outs[jobs] = buf.String()
+	}
+	if outs[1] != outs[4] {
+		t.Fatalf("template output differs between -jobs 1 and -jobs 4:\n--- jobs=1 ---\n%s\n--- jobs=4 ---\n%s", outs[1], outs[4])
 	}
 }

@@ -4,119 +4,21 @@ import (
 	"fmt"
 
 	"leakyway/internal/channel"
-	"leakyway/internal/core"
 	"leakyway/internal/hier"
-	"leakyway/internal/sim"
-	"leakyway/internal/trace"
 )
 
+// fig6, fig7 and fig8 are declarative scenarios now — see builtin.go for
+// their Spec literals and scenario_run.go for the interpreters. Table II
+// stays hand-coded: its paper-comparison column renders reference numbers
+// that are data, not scenario structure.
+
 func init() {
-	register(Experiment{
-		ID:    "fig6",
-		Title: "Figure 6 — LLC set states during NTP+NTP transmission",
-		Paper: "dr is installed as the eviction candidate; a sent '1' replaces it with ds; the receiver's timed prefetch reads the bit and resets the set",
-		Run:   runFig6,
-	})
-	register(Experiment{
-		ID:    "fig7",
-		Title: "Figure 7 — two-set pipelined NTP+NTP schedule",
-		Paper: "sender and receiver alternate sets; the receiver always detects the bit sent one iteration earlier",
-		Run:   runFig7,
-	})
-	register(Experiment{
-		ID:    "fig8",
-		Title: "Figure 8 — channel capacity and bit error rate vs raw transmission rate",
-		Paper: "BER stays low until a knee, then capacity collapses; NTP+NTP peaks ≈302/275 KB/s (SKL/KBL), Prime+Probe ≈86/81 KB/s",
-		Run:   runFig8,
-	})
 	register(Experiment{
 		ID:    "table2",
 		Title: "Table II — maximum channel capacities",
 		Paper: "NTP+NTP 302 (SKL) / 275 (KBL) KB/s; Prime+Probe 86 / 81 KB/s",
 		Run:   runTable2,
 	})
-}
-
-func runFig6(ctx *Context) (*Result, error) {
-	res := &Result{}
-	cfg := ctx.Platforms[0]
-	m := sim.MustNewMachine(cfg, 1<<30, ctx.Seed)
-	m.SetTracer(ctx.Tracer(shortName(cfg)))
-	ep, err := channel.Setup(m, 1, 0)
-	if err != nil {
-		return nil, err
-	}
-	tr := core.NewTrace()
-	var got1, got0 bool
-
-	recvReady := int64(30_000)
-	sent1 := recvReady + 5_000
-	read1 := sent1 + 5_000
-	idle0 := read1 + 5_000
-	read0 := idle0 + 5_000
-
-	m.Spawn("sender", 0, ep.SenderAS, func(c *sim.Core) {
-		tr.Label(c, ep.DS[0], "ds")
-		c.WaitUntil(sent1)
-		c.PrefetchNTA(ep.DS[0])
-		tr.Snap(m, c, ep.DS[0], "sender prefetches ds to send '1'")
-		c.WaitUntil(idle0)
-		tr.Snap(m, c, ep.DS[0], "sender stays idle to send '0'")
-	})
-	m.Spawn("receiver", 1, ep.ReceiverAS, func(c *sim.Core) {
-		th := core.Calibrate(c, 48)
-		tr.Label(c, ep.DR[0], "dr")
-		for _, va := range ep.Filler[0] {
-			c.Load(va)
-		}
-		c.PrefetchNTA(ep.DR[0])
-		tr.Snap(m, c, ep.DR[0], "receiver prefetches dr to prepare the channel")
-		c.WaitUntil(read1)
-		t := c.TimedPrefetchNTA(ep.DR[0])
-		got1 = th.IsMiss(t)
-		tr.Snap(m, c, ep.DR[0], fmt.Sprintf("receiver prefetches dr: %d cycles -> reads '1'", t))
-		c.WaitUntil(read0)
-		t = c.TimedPrefetchNTA(ep.DR[0])
-		got0 = th.IsMiss(t)
-		tr.Snap(m, c, ep.DR[0], fmt.Sprintf("receiver prefetches dr: %d cycles -> reads '0'", t))
-	})
-	m.Run()
-
-	ctx.Printf("%s", tr.Render())
-	ok := 0.0
-	if got1 && !got0 {
-		ok = 1
-	}
-	ctx.Printf("decoded: first bit=%v second bit=%v (want true,false)\n", got1, got0)
-	res.Metric("state_walk_correct", ok)
-	return res, nil
-}
-
-func runFig7(ctx *Context) (*Result, error) {
-	res := &Result{}
-	cfg := ctx.Platforms[0]
-	ccfg := channel.DefaultConfig(cfg.Name, cfg.FreqGHz)
-	ccfg.NoisePeriod = 0
-	msg := []bool{true, false, true, true, false, true, false, false}
-	m := sim.MustNewMachine(cfg, 1<<30, ctx.Seed)
-	m.SetTracer(ctx.Tracer(shortName(cfg)))
-	rep, recv := channel.RunNTPNTP(m, ccfg, msg)
-
-	ctx.Printf("two-set schedule: sender transmits bit i on set i%%2 at iteration i;\n")
-	ctx.Printf("the receiver reads bit i from set i%%2 one iteration later.\n\n")
-	rows := [][]string{}
-	for i, b := range msg {
-		rows = append(rows, []string{
-			fmt.Sprintf("T=%d", i),
-			fmt.Sprintf("set %d", i%2),
-			fmt.Sprintf("sends %v", bit(b)),
-			fmt.Sprintf("reads %v (bit %d)", bit(recv[i]), i),
-		})
-	}
-	renderTable(ctx, []string{"iteration", "LLC set", "sender", "receiver (next iteration)"}, rows)
-	ctx.Printf("errors: %d/%d\n", rep.Errors, rep.Bits)
-	res.Metric("pipeline_errors", float64(rep.Errors))
-	return res, nil
 }
 
 func bit(b bool) string {
@@ -126,55 +28,11 @@ func bit(b bool) string {
 	return "0"
 }
 
-// channelGrids returns the sweep intervals per channel, scaled around the
-// knees.
-func ntpIntervals() []int64 {
-	return []int64{900, 1100, 1300, 1500, 1800, 2200, 2800, 3600, 5000, 8000}
-}
-
-func ppIntervals() []int64 {
-	return []int64{4000, 5000, 6000, 6500, 7000, 8000, 9000, 11000, 14000, 20000}
-}
-
-func runFig8(ctx *Context) (*Result, error) {
-	res := &Result{}
-	bits := ctx.Trials(2000)
-	err := ctx.EachPlatform(func(sub *Context, cfg hier.Config) error {
-		base := channel.DefaultConfig(cfg.Name, cfg.FreqGHz)
-		// Per-sweep-point trace labels: interval values are part of the
-		// label so streams sort (and export) independently of scheduling.
-		tf := func(name string, ivs []int64) func(i int) *trace.Tracer {
-			if sub.Trace == nil {
-				return nil
-			}
-			return func(i int) *trace.Tracer {
-				return sub.Tracer(name, fmt.Sprintf("interval-%05d", ivs[i]))
-			}
-		}
-		ntpIvs, ppIvs := ntpIntervals(), ppIntervals()
-		ntp := channel.SweepTraced(cfg, channel.RunNTPNTP, base, ntpIvs, bits, sub.SeedFor("ntpntp"), sub.Parallel, tf("ntpntp", ntpIvs))
-		pp := channel.SweepTraced(cfg, channel.RunPrimeProbe, base, ppIvs, bits, sub.SeedFor("primeprobe"), sub.Parallel, tf("primeprobe", ppIvs))
-		for _, sw := range []channel.SweepResult{ntp, pp} {
-			sub.Printf("\n%s — %s\n", sw.Channel, sw.Platform)
-			rows := [][]string{}
-			for _, p := range sw.Points {
-				rows = append(rows, []string{
-					fmt.Sprintf("%d", p.Interval),
-					fmt.Sprintf("%.1f", p.RawRateKBps),
-					fmt.Sprintf("%.2f%%", 100*p.BER),
-					fmt.Sprintf("%.1f", p.CapacityKBps),
-				})
-			}
-			renderTable(sub, []string{"interval (cyc)", "raw rate (KB/s)", "BER", "capacity (KB/s)"}, rows)
-		}
-		np, pp2 := ntp.Peak(), pp.Peak()
-		sub.Printf("\npeaks on %s: NTP+NTP %.1f KB/s vs Prime+Probe %.1f KB/s (%.1fx)\n",
-			cfg.Name, np.CapacityKBps, pp2.CapacityKBps, np.CapacityKBps/pp2.CapacityKBps)
-		res.Metric(shortName(cfg)+"/ntpntp_peak_kbps", np.CapacityKBps)
-		res.Metric(shortName(cfg)+"/primeprobe_peak_kbps", pp2.CapacityKBps)
-		return nil
-	})
-	return res, err
+func b2f(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
 }
 
 func runTable2(ctx *Context) (*Result, error) {

@@ -86,6 +86,9 @@ func runExperiments(ctx *Context, list []Experiment) (map[string]*Result, error)
 
 	out := map[string]*Result{}
 	for i, e := range list {
+		if slots[i].res != nil {
+			slots[i].res.Report = slots[i].buf.String()
+		}
 		if ctx.Out != nil {
 			ctx.mu.Lock()
 			_, werr := ctx.Out.Write(slots[i].buf.Bytes())

@@ -152,6 +152,9 @@ func (ctx *Context) Printf(format string, args ...any) {
 type Result struct {
 	// Metrics hold named scalar outcomes ("skylake/ntpntp_peak_kbps").
 	Metrics map[string]float64
+	// Report is the experiment's rendered text (banner included), captured
+	// at flush time by the engine. Scenario extractors run over it.
+	Report string
 
 	mu sync.Mutex
 }

@@ -22,17 +22,21 @@ func TestFaultLogMatchesTraceEvents(t *testing.T) {
 	base.NoisePeriod = 0
 	const bits = 160
 
+	spec, ok := BuiltinSpec("faults")
+	if !ok {
+		t.Fatal("no builtin faults scenario")
+	}
 	col := trace.NewCollector()
-	for _, sc := range faultScenarios() {
-		if sc.key == "none" {
+	for _, sc := range spec.Faults.Scenarios {
+		if sc.Key == "none" {
 			continue
 		}
-		seedv := SplitSeed(42, "faults", sc.key)
+		seedv := SplitSeed(42, "faults", sc.Key)
 		m := sim.MustNewMachine(cfg, 1<<30, seedv)
-		m.SetTracer(col.Tracer(sc.key, trace.PkgAll))
+		m.SetTracer(col.Tracer(sc.Key, trace.PkgAll))
 		ep, err := channel.Setup(m, 2, 0)
 		if err != nil {
-			t.Fatalf("%s: %v", sc.key, err)
+			t.Fatalf("%s: %v", sc.Key, err)
 		}
 		log := &fault.Log{}
 		tgt := fault.Target{PolluteAS: ep.NoiseAS, Pollute: ep.NoiseLines}
@@ -40,24 +44,24 @@ func TestFaultLogMatchesTraceEvents(t *testing.T) {
 		tgt.SpareCore = 3
 		tgt.Horizon = base.Start + int64(bits)*base.Interval
 		log.Attach(m)
-		sc.scenario().Inject(m, tgt, seedv, log)
+		sc.Compile().Inject(m, tgt, seedv, log)
 		msg := channel.RandomMessage(bits, seedv)
 		channel.RunNTPNTPOn(m, base, ep, msg)
 
 		fired := log.Fired()
 		if len(fired) == 0 {
-			t.Errorf("%s: no fault fired within the horizon", sc.key)
+			t.Errorf("%s: no fault fired within the horizon", sc.Key)
 			continue
 		}
 		var traced []trace.Event
-		for _, e := range findBuffer(t, col, sc.key).Events() {
+		for _, e := range findBuffer(t, col, sc.Key).Events() {
 			if e.Pkg == "fault" {
 				traced = append(traced, e)
 			}
 		}
 		if len(traced) != len(fired) {
 			t.Errorf("%s: %d fired log entries but %d fault trace events",
-				sc.key, len(fired), len(traced))
+				sc.Key, len(fired), len(traced))
 		}
 		used := make([]bool, len(traced))
 	outer:
@@ -68,16 +72,16 @@ func TestFaultLogMatchesTraceEvents(t *testing.T) {
 				}
 				if e.Note != f.Scenario {
 					t.Errorf("%s: event %s@%d: trace scenario %q != log scenario %q",
-						sc.key, f.Kind, f.At, e.Note, f.Scenario)
+						sc.Key, f.Kind, f.At, e.Note, f.Scenario)
 				}
 				if e.Dur != f.Dur {
 					t.Errorf("%s: event %s@%d: trace dur %d != log dur %d",
-						sc.key, f.Kind, f.At, e.Dur, f.Dur)
+						sc.Key, f.Kind, f.At, e.Dur, f.Dur)
 				}
 				used[i] = true
 				continue outer
 			}
-			t.Errorf("%s: fired %v has no matching trace event", sc.key, f)
+			t.Errorf("%s: fired %v has no matching trace event", sc.Key, f)
 		}
 	}
 }

@@ -1,0 +1,551 @@
+package scenario
+
+import (
+	"fmt"
+	"math"
+)
+
+// The strict tree→Spec decoder. Every getter records the first failure
+// (with the file and dotted field path) and turns subsequent calls into
+// no-ops, so decode functions read straight through without per-field
+// error plumbing. Unknown fields are rejected at every level.
+
+type dec struct {
+	file string
+	err  error
+}
+
+func (d *dec) fail(path, format string, args ...any) {
+	if d.err == nil {
+		d.err = fmt.Errorf("%s: %s: %s", d.file, path, fmt.Sprintf(format, args...))
+	}
+}
+
+// mapping asserts v is a mapping and returns it.
+func (d *dec) mapping(v any, path string) map[string]any {
+	if d.err != nil {
+		return nil
+	}
+	m, ok := v.(map[string]any)
+	if !ok {
+		d.fail(path, "expected a mapping, got %s", typeName(v))
+		return nil
+	}
+	return m
+}
+
+// checkUnknown rejects keys outside the known set.
+func (d *dec) checkUnknown(m map[string]any, path string, known ...string) {
+	if d.err != nil {
+		return
+	}
+	for k := range m {
+		found := false
+		for _, ok := range known {
+			if k == ok {
+				found = true
+				break
+			}
+		}
+		if !found {
+			// Deterministic choice irrelevant: fail on any one.
+			d.fail(joinPath(path, k), "unknown field (valid fields: %v)", known)
+			return
+		}
+	}
+}
+
+func joinPath(path, key string) string {
+	if path == "" {
+		return key
+	}
+	return path + "." + key
+}
+
+func typeName(v any) string {
+	switch v.(type) {
+	case nil:
+		return "null"
+	case map[string]any:
+		return "mapping"
+	case []any:
+		return "sequence"
+	case string:
+		return "string"
+	case bool:
+		return "bool"
+	case int64:
+		return "integer"
+	case float64:
+		return "float"
+	}
+	return fmt.Sprintf("%T", v)
+}
+
+func (d *dec) str(m map[string]any, path, key string) string {
+	v, ok := m[key]
+	if d.err != nil || !ok || v == nil {
+		return ""
+	}
+	s, isStr := v.(string)
+	if !isStr {
+		d.fail(joinPath(path, key), "expected a string, got %s", typeName(v))
+		return ""
+	}
+	return s
+}
+
+func (d *dec) integer(m map[string]any, path, key string) int64 {
+	v, ok := m[key]
+	if d.err != nil || !ok || v == nil {
+		return 0
+	}
+	switch n := v.(type) {
+	case int64:
+		return n
+	case float64:
+		if n == math.Trunc(n) && math.Abs(n) < 1<<53 {
+			return int64(n)
+		}
+	}
+	d.fail(joinPath(path, key), "expected an integer, got %s", typeName(v))
+	return 0
+}
+
+func (d *dec) intVal(m map[string]any, path, key string) int {
+	n := d.integer(m, path, key)
+	if d.err == nil && (n > math.MaxInt32 || n < math.MinInt32) {
+		d.fail(joinPath(path, key), "integer %d out of range", n)
+		return 0
+	}
+	return int(n)
+}
+
+func (d *dec) float(m map[string]any, path, key string) float64 {
+	v, ok := m[key]
+	if d.err != nil || !ok || v == nil {
+		return 0
+	}
+	switch n := v.(type) {
+	case int64:
+		return float64(n)
+	case float64:
+		return n
+	}
+	d.fail(joinPath(path, key), "expected a number, got %s", typeName(v))
+	return 0
+}
+
+// Pointer getters: nil when the key is absent, so explicit zeros survive.
+
+func (d *dec) i64p(m map[string]any, path, key string) *int64 {
+	if _, ok := m[key]; !ok || d.err != nil {
+		return nil
+	}
+	v := d.integer(m, path, key)
+	if d.err != nil {
+		return nil
+	}
+	return &v
+}
+
+func (d *dec) intp(m map[string]any, path, key string) *int {
+	if _, ok := m[key]; !ok || d.err != nil {
+		return nil
+	}
+	v := d.intVal(m, path, key)
+	if d.err != nil {
+		return nil
+	}
+	return &v
+}
+
+func (d *dec) f64p(m map[string]any, path, key string) *float64 {
+	if _, ok := m[key]; !ok || d.err != nil {
+		return nil
+	}
+	v := d.float(m, path, key)
+	if d.err != nil {
+		return nil
+	}
+	return &v
+}
+
+func (d *dec) boolp(m map[string]any, path, key string) *bool {
+	v, ok := m[key]
+	if !ok || d.err != nil {
+		return nil
+	}
+	b, isBool := v.(bool)
+	if !isBool {
+		d.fail(joinPath(path, key), "expected a bool, got %s", typeName(v))
+		return nil
+	}
+	return &b
+}
+
+func (d *dec) list(m map[string]any, path, key string) []any {
+	v, ok := m[key]
+	if d.err != nil || !ok || v == nil {
+		return nil
+	}
+	l, isList := v.([]any)
+	if !isList {
+		d.fail(joinPath(path, key), "expected a sequence, got %s", typeName(v))
+		return nil
+	}
+	return l
+}
+
+func (d *dec) i64s(m map[string]any, path, key string) []int64 {
+	l := d.list(m, path, key)
+	if l == nil {
+		return nil
+	}
+	out := make([]int64, 0, len(l))
+	for i, v := range l {
+		n, ok := v.(int64)
+		if !ok {
+			d.fail(fmt.Sprintf("%s[%d]", joinPath(path, key), i), "expected an integer, got %s", typeName(v))
+			return nil
+		}
+		out = append(out, n)
+	}
+	return out
+}
+
+func (d *dec) ints(m map[string]any, path, key string) []int {
+	l := d.i64s(m, path, key)
+	if l == nil {
+		return nil
+	}
+	out := make([]int, len(l))
+	for i, v := range l {
+		out[i] = int(v)
+	}
+	return out
+}
+
+// decodeSpec decodes a parsed document into a Spec.
+func decodeSpec(d *dec, root any) *Spec {
+	m := d.mapping(root, "")
+	if d.err != nil {
+		return nil
+	}
+	d.checkUnknown(m, "",
+		"id", "title", "paper", "kind",
+		"platform", "channel", "transport",
+		"statewalk", "pipeline", "sweep", "lanes", "noise", "faults", "victim",
+		"extract", "assert")
+	s := &Spec{
+		ID:    d.str(m, "", "id"),
+		Title: d.str(m, "", "title"),
+		Paper: d.str(m, "", "paper"),
+		Kind:  d.str(m, "", "kind"),
+	}
+	if v, ok := m["platform"]; ok {
+		s.Platform = decodePlatform(d, v, "platform")
+	}
+	if v, ok := m["channel"]; ok {
+		s.Channel = decodeChannel(d, v, "channel")
+	}
+	if v, ok := m["transport"]; ok {
+		s.Transport = decodeTransport(d, v, "transport")
+	}
+	if v, ok := m["statewalk"]; ok {
+		s.StateWalk = decodeStateWalk(d, v, "statewalk")
+	}
+	if v, ok := m["pipeline"]; ok {
+		s.Pipeline = decodePipeline(d, v, "pipeline")
+	}
+	if v, ok := m["sweep"]; ok {
+		s.Sweep = decodeSweep(d, v, "sweep")
+	}
+	if v, ok := m["lanes"]; ok {
+		s.Lanes = decodeLanes(d, v, "lanes")
+	}
+	if v, ok := m["noise"]; ok {
+		s.Noise = decodeNoise(d, v, "noise")
+	}
+	if v, ok := m["faults"]; ok {
+		s.Faults = decodeFaults(d, v, "faults")
+	}
+	if v, ok := m["victim"]; ok {
+		s.Victim = decodeVictim(d, v, "victim")
+	}
+	if v, ok := m["extract"]; ok {
+		s.Extract = decodeExtract(d, v, "extract")
+	}
+	if v, ok := m["assert"]; ok {
+		s.Assert = decodeAssert(d, v, "assert")
+	}
+	if d.err != nil {
+		return nil
+	}
+	return s
+}
+
+func decodePlatform(d *dec, v any, path string) *PlatformSpec {
+	m := d.mapping(v, path)
+	if d.err != nil {
+		return nil
+	}
+	d.checkUnknown(m, path, "base", "name", "cores", "freq_ghz",
+		"l1_sets", "l1_ways", "l2_sets", "l2_ways",
+		"llc_slices", "llc_sets_per_slice", "llc_ways", "llc_policy",
+		"adjacent_line", "stream_prefetch", "non_inclusive", "llc_partition_ways")
+	return &PlatformSpec{
+		Base:             d.str(m, path, "base"),
+		Name:             d.str(m, path, "name"),
+		Cores:            d.intVal(m, path, "cores"),
+		FreqGHz:          d.float(m, path, "freq_ghz"),
+		L1Sets:           d.intVal(m, path, "l1_sets"),
+		L1Ways:           d.intVal(m, path, "l1_ways"),
+		L2Sets:           d.intVal(m, path, "l2_sets"),
+		L2Ways:           d.intVal(m, path, "l2_ways"),
+		LLCSlices:        d.intVal(m, path, "llc_slices"),
+		LLCSetsPerSlice:  d.intVal(m, path, "llc_sets_per_slice"),
+		LLCWays:          d.intVal(m, path, "llc_ways"),
+		LLCPolicy:        d.str(m, path, "llc_policy"),
+		AdjacentLine:     d.boolp(m, path, "adjacent_line"),
+		StreamPrefetch:   d.boolp(m, path, "stream_prefetch"),
+		NonInclusive:     d.boolp(m, path, "non_inclusive"),
+		LLCPartitionWays: d.intp(m, path, "llc_partition_ways"),
+	}
+}
+
+func decodeChannel(d *dec, v any, path string) *ChannelSpec {
+	m := d.mapping(v, path)
+	if d.err != nil {
+		return nil
+	}
+	d.checkUnknown(m, path, "interval", "sets", "sender_offset", "receiver_offset",
+		"protocol_overhead", "start", "noise_period", "prime_walks")
+	return &ChannelSpec{
+		Interval:         d.i64p(m, path, "interval"),
+		Sets:             d.intp(m, path, "sets"),
+		SenderOffset:     d.i64p(m, path, "sender_offset"),
+		ReceiverOffset:   d.i64p(m, path, "receiver_offset"),
+		ProtocolOverhead: d.i64p(m, path, "protocol_overhead"),
+		Start:            d.i64p(m, path, "start"),
+		NoisePeriod:      d.i64p(m, path, "noise_period"),
+		PrimeWalks:       d.intp(m, path, "prime_walks"),
+	}
+}
+
+func decodeTransport(d *dec, v any, path string) *TransportSpec {
+	m := d.mapping(v, path)
+	if d.err != nil {
+		return nil
+	}
+	d.checkUnknown(m, path, "channel", "max_retries", "fer_window", "fer_threshold")
+	t := &TransportSpec{
+		MaxRetries:   d.intp(m, path, "max_retries"),
+		FERWindow:    d.intp(m, path, "fer_window"),
+		FERThreshold: d.f64p(m, path, "fer_threshold"),
+	}
+	if cv, ok := m["channel"]; ok {
+		t.Channel = decodeChannel(d, cv, joinPath(path, "channel"))
+	}
+	if d.err != nil {
+		return nil
+	}
+	return t
+}
+
+func decodeStateWalk(d *dec, v any, path string) *StateWalkSpec {
+	m := d.mapping(v, path)
+	if d.err != nil {
+		return nil
+	}
+	d.checkUnknown(m, path, "message", "calibrate_samples", "receiver_ready", "phase_step")
+	return &StateWalkSpec{
+		Message:          d.str(m, path, "message"),
+		CalibrateSamples: d.intVal(m, path, "calibrate_samples"),
+		ReceiverReady:    d.integer(m, path, "receiver_ready"),
+		PhaseStep:        d.integer(m, path, "phase_step"),
+	}
+}
+
+func decodePipeline(d *dec, v any, path string) *PipelineSpec {
+	m := d.mapping(v, path)
+	if d.err != nil {
+		return nil
+	}
+	d.checkUnknown(m, path, "message")
+	return &PipelineSpec{Message: d.str(m, path, "message")}
+}
+
+func decodeSweep(d *dec, v any, path string) *SweepSpec {
+	m := d.mapping(v, path)
+	if d.err != nil {
+		return nil
+	}
+	d.checkUnknown(m, path, "bits", "channels")
+	s := &SweepSpec{Bits: d.intVal(m, path, "bits")}
+	for i, cv := range d.list(m, path, "channels") {
+		cpath := fmt.Sprintf("%s.channels[%d]", path, i)
+		cm := d.mapping(cv, cpath)
+		if d.err != nil {
+			return nil
+		}
+		d.checkUnknown(cm, cpath, "channel", "intervals")
+		s.Channels = append(s.Channels, SweepChannel{
+			Channel:   d.str(cm, cpath, "channel"),
+			Intervals: d.i64s(cm, cpath, "intervals"),
+		})
+	}
+	if d.err != nil {
+		return nil
+	}
+	return s
+}
+
+func decodeLanes(d *dec, v any, path string) *LanesSpec {
+	m := d.mapping(v, path)
+	if d.err != nil {
+		return nil
+	}
+	d.checkUnknown(m, path, "bits", "lane_counts", "offsets", "lane_cost")
+	return &LanesSpec{
+		Bits:       d.intVal(m, path, "bits"),
+		LaneCounts: d.ints(m, path, "lane_counts"),
+		Offsets:    d.i64s(m, path, "offsets"),
+		LaneCost:   d.integer(m, path, "lane_cost"),
+	}
+}
+
+func decodeNoise(d *dec, v any, path string) *NoiseSpec {
+	m := d.mapping(v, path)
+	if d.err != nil {
+		return nil
+	}
+	d.checkUnknown(m, path, "bits", "periods", "interleave_depth")
+	return &NoiseSpec{
+		Bits:            d.intVal(m, path, "bits"),
+		Periods:         d.i64s(m, path, "periods"),
+		InterleaveDepth: d.intVal(m, path, "interleave_depth"),
+	}
+}
+
+func decodeFaults(d *dec, v any, path string) *FaultsSpec {
+	m := d.mapping(v, path)
+	if d.err != nil {
+		return nil
+	}
+	d.checkUnknown(m, path, "raw_bits", "arq_bits", "interleave_depth", "scenarios")
+	f := &FaultsSpec{
+		RawBits:         d.intVal(m, path, "raw_bits"),
+		ARQBits:         d.intVal(m, path, "arq_bits"),
+		InterleaveDepth: d.intVal(m, path, "interleave_depth"),
+	}
+	for i, sv := range d.list(m, path, "scenarios") {
+		spath := fmt.Sprintf("%s.scenarios[%d]", path, i)
+		sm := d.mapping(sv, spath)
+		if d.err != nil {
+			return nil
+		}
+		d.checkUnknown(sm, spath, "key", "faults")
+		sc := FaultScenario{Key: d.str(sm, spath, "key")}
+		for j, fv := range d.list(sm, spath, "faults") {
+			fpath := fmt.Sprintf("%s.faults[%d]", spath, j)
+			fm := d.mapping(fv, fpath)
+			if d.err != nil {
+				return nil
+			}
+			d.checkUnknown(fm, fpath, "type", "role", "count", "min_dur", "max_dur",
+				"bursts", "walks", "gap", "ppm", "dur", "extra", "cost")
+			sc.Faults = append(sc.Faults, FaultSpec{
+				Type:   d.str(fm, fpath, "type"),
+				Role:   d.str(fm, fpath, "role"),
+				Count:  d.intVal(fm, fpath, "count"),
+				MinDur: d.integer(fm, fpath, "min_dur"),
+				MaxDur: d.integer(fm, fpath, "max_dur"),
+				Bursts: d.intVal(fm, fpath, "bursts"),
+				Walks:  d.intVal(fm, fpath, "walks"),
+				Gap:    d.integer(fm, fpath, "gap"),
+				PPM:    d.integer(fm, fpath, "ppm"),
+				Dur:    d.integer(fm, fpath, "dur"),
+				Extra:  d.integer(fm, fpath, "extra"),
+				Cost:   d.integer(fm, fpath, "cost"),
+			})
+		}
+		f.Scenarios = append(f.Scenarios, sc)
+	}
+	if d.err != nil {
+		return nil
+	}
+	return f
+}
+
+func decodeVictim(d *dec, v any, path string) *VictimSpec {
+	m := d.mapping(v, path)
+	if d.err != nil {
+		return nil
+	}
+	d.checkUnknown(m, path, "program", "key", "encryptions", "window", "start")
+	return &VictimSpec{
+		Program:     d.str(m, path, "program"),
+		Key:         d.str(m, path, "key"),
+		Encryptions: d.intVal(m, path, "encryptions"),
+		Window:      d.integer(m, path, "window"),
+		Start:       d.integer(m, path, "start"),
+	}
+}
+
+func decodeExtract(d *dec, v any, path string) []Extractor {
+	var out []Extractor
+	l, isList := v.([]any)
+	if !isList {
+		d.fail(path, "expected a sequence, got %s", typeName(v))
+		return nil
+	}
+	for i, ev := range l {
+		epath := fmt.Sprintf("%s[%d]", path, i)
+		em := d.mapping(ev, epath)
+		if d.err != nil {
+			return nil
+		}
+		d.checkUnknown(em, epath, "name", "type", "pattern", "group", "metric")
+		out = append(out, Extractor{
+			Name:    d.str(em, epath, "name"),
+			Type:    d.str(em, epath, "type"),
+			Pattern: d.str(em, epath, "pattern"),
+			Group:   d.intVal(em, epath, "group"),
+			Metric:  d.str(em, epath, "metric"),
+		})
+	}
+	if d.err != nil {
+		return nil
+	}
+	return out
+}
+
+func decodeAssert(d *dec, v any, path string) []Assertion {
+	var out []Assertion
+	l, isList := v.([]any)
+	if !isList {
+		d.fail(path, "expected a sequence, got %s", typeName(v))
+		return nil
+	}
+	for i, av := range l {
+		apath := fmt.Sprintf("%s[%d]", path, i)
+		am := d.mapping(av, apath)
+		if d.err != nil {
+			return nil
+		}
+		d.checkUnknown(am, apath, "metric", "extract", "op", "value", "max", "tol")
+		out = append(out, Assertion{
+			Metric:  d.str(am, apath, "metric"),
+			Extract: d.str(am, apath, "extract"),
+			Op:      d.str(am, apath, "op"),
+			Value:   d.float(am, apath, "value"),
+			Max:     d.float(am, apath, "max"),
+			Tol:     d.float(am, apath, "tol"),
+		})
+	}
+	if d.err != nil {
+		return nil
+	}
+	return out
+}

@@ -1,0 +1,61 @@
+package scenario
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// FuzzLoadScenario throws arbitrary bytes at the full load pipeline
+// (YAML parse → strict decode → validate). The corpus seeds with every
+// shipped template plus hand-picked malformed documents. Invariants: no
+// panic ever, and the all-or-nothing contract — an error means a nil
+// Spec, success means a Spec that validates and whose canonical marshal
+// parses right back.
+func FuzzLoadScenario(f *testing.F) {
+	if entries, err := os.ReadDir("../../templates"); err == nil {
+		for _, e := range entries {
+			if data, err := os.ReadFile(filepath.Join("../../templates", e.Name())); err == nil {
+				f.Add(data)
+			}
+		}
+	}
+	for _, seed := range []string{
+		"",
+		"id: x",
+		"id: x\nid: y\n",
+		"\tid: x\n",
+		"id: \"unterminated\n",
+		"id: x\ntitle: [\n",
+		"a: 1\n---\nb: 2\n",
+		"id: x\ntitle: T\nkind: faults\nfaults:\n  scenarios:\n    - key: 1\n",
+		"id: x\ntitle: T\nkind: sweep\nsweep:\n  bits: 99999999999999999999\n",
+		"id: x\ntitle: T\nkind: statewalk\nstatewalk: 5\n",
+		"id: x\ntitle: T\nkind: statewalk\nstatewalk:\n  message: \"10\"\n  bogus: 1\n",
+		"{\"id\": 1, \"kind\": []}",
+		"id: x\nextract:\n  - name: e\n    type: regex\n    pattern: \"(\"\n",
+	} {
+		f.Add([]byte(seed))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		spec, err := Parse(data, "fuzz.yaml")
+		if err != nil {
+			if spec != nil {
+				t.Fatalf("error with a non-nil (partial) spec: %v", err)
+			}
+			return
+		}
+		if spec == nil {
+			t.Fatal("nil spec without an error")
+		}
+		// A successfully loaded spec is fully validated...
+		if verr := spec.Validate("fuzz.yaml"); verr != nil {
+			t.Fatalf("loaded spec fails Validate: %v", verr)
+		}
+		// ...and survives the canonical marshal.
+		if _, rerr := Parse(Marshal(spec), "remarshal.yaml"); rerr != nil {
+			t.Fatalf("canonical marshal of a loaded spec does not reparse: %v\n%s",
+				rerr, Marshal(spec))
+		}
+	})
+}

@@ -1,0 +1,134 @@
+package scenario
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Parse decodes and validates one template. The filename selects the
+// format (.json is JSON, everything else the YAML subset) and prefixes
+// every error. On any error the returned Spec is nil — a template either
+// loads completely or not at all.
+func Parse(data []byte, filename string) (*Spec, error) {
+	var root any
+	var err error
+	if strings.HasSuffix(filename, ".json") {
+		root, err = parseJSON(data, filename)
+	} else {
+		root, err = parseYAML(data, filename)
+	}
+	if err != nil {
+		return nil, err
+	}
+	d := &dec{file: filename}
+	spec := decodeSpec(d, root)
+	if d.err != nil {
+		return nil, d.err
+	}
+	if err := spec.Validate(filename); err != nil {
+		return nil, err
+	}
+	return spec, nil
+}
+
+// parseJSON decodes JSON into the same tree shapes parseYAML produces
+// (integral numbers become int64, others float64).
+func parseJSON(data []byte, filename string) (any, error) {
+	decoder := json.NewDecoder(bytes.NewReader(data))
+	decoder.UseNumber()
+	var root any
+	if err := decoder.Decode(&root); err != nil {
+		return nil, fmt.Errorf("%s: %v", filename, err)
+	}
+	// A second value (or trailing garbage) is a malformed template.
+	if decoder.More() {
+		return nil, fmt.Errorf("%s: trailing data after the JSON document", filename)
+	}
+	return normalizeJSON(root), nil
+}
+
+func normalizeJSON(v any) any {
+	switch t := v.(type) {
+	case map[string]any:
+		for k, e := range t {
+			t[k] = normalizeJSON(e)
+		}
+		return t
+	case []any:
+		for i, e := range t {
+			t[i] = normalizeJSON(e)
+		}
+		return t
+	case json.Number:
+		if i, err := t.Int64(); err == nil {
+			return i
+		}
+		f, _ := t.Float64()
+		return f
+	}
+	return v
+}
+
+// Load parses one template file.
+func Load(path string) (*Spec, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("scenario: %w", err)
+	}
+	return Parse(data, path)
+}
+
+// templateExts are the file extensions LoadPath picks up from a directory.
+var templateExts = map[string]bool{".yaml": true, ".yml": true, ".json": true}
+
+// LoadPath loads a template file, or every template in a directory
+// (sorted by name, so run order is stable). Directory entries with other
+// extensions are ignored; an empty directory is an error. Duplicate
+// scenario IDs across a pack are rejected — they would collide in
+// metrics, trace labels and seed derivation.
+func LoadPath(path string) ([]*Spec, error) {
+	info, err := os.Stat(path)
+	if err != nil {
+		return nil, fmt.Errorf("scenario: %w", err)
+	}
+	if !info.IsDir() {
+		spec, err := Load(path)
+		if err != nil {
+			return nil, err
+		}
+		return []*Spec{spec}, nil
+	}
+	entries, err := os.ReadDir(path)
+	if err != nil {
+		return nil, fmt.Errorf("scenario: %w", err)
+	}
+	var files []string
+	for _, e := range entries {
+		if !e.IsDir() && templateExts[filepath.Ext(e.Name())] {
+			files = append(files, filepath.Join(path, e.Name()))
+		}
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("scenario: no templates (*.yaml, *.yml, *.json) in %s", path)
+	}
+	sort.Strings(files)
+	specs := make([]*Spec, 0, len(files))
+	byID := map[string]string{}
+	for _, f := range files {
+		spec, err := Load(f)
+		if err != nil {
+			return nil, err
+		}
+		if prev, dup := byID[spec.ID]; dup {
+			return nil, fmt.Errorf("%s: id: duplicate scenario id %q (also defined in %s)", f, spec.ID, prev)
+		}
+		byID[spec.ID] = f
+		specs = append(specs, spec)
+	}
+	return specs, nil
+}

@@ -1,0 +1,443 @@
+// Package scenario is the declarative experiment format: a YAML/JSON
+// schema describing a complete covert-channel scenario — platform
+// geometry, replacement policy, prefetcher configuration, victim program,
+// channel and transport parameters, fault-scenario mix, and typed metric
+// extractors with pass/fail assertions — plus a strict loader/validator
+// and a deterministic marshaller.
+//
+// A template is one Spec. The experiment engine (internal/experiments)
+// compiles a Spec into a registered-experiment-shaped task, so a template
+// run is driven by exactly the code path a hand-coded experiment uses:
+// the shipped templates under templates/ reproduce their hand-coded
+// counterparts byte-identically for any -jobs value (the equivalence
+// harness in internal/experiments proves it).
+//
+// The loader is strict on purpose: unknown fields are rejected, every
+// error names the file and the field path that caused it, and a failed
+// Parse returns no Spec at all — never a partially-applied one.
+package scenario
+
+import (
+	"leakyway/internal/channel"
+	"leakyway/internal/fault"
+	"leakyway/internal/hier"
+	"leakyway/internal/platform"
+	"leakyway/internal/policy"
+)
+
+// Spec is one declarative scenario. ID, Title, Paper and Kind are
+// required; exactly the section matching Kind must be present. The
+// optional Platform/Channel/Transport sections override the per-platform
+// calibrated defaults; Extract and Assert add post-run metric extraction
+// and pass/fail checks (template mode only — they never change the run).
+type Spec struct {
+	// ID keys the scenario: it names the report section, prefixes every
+	// trace stream, and — critically — feeds the SplitSeed derivation,
+	// so a template with the same ID as a hand-coded experiment runs
+	// with identical randomness.
+	ID string
+	// Title is the one-line banner ("Figure 8 — channel capacity ...").
+	Title string
+	// Paper summarizes what the source paper reports for this artifact.
+	Paper string
+	// Kind selects the interpreter: statewalk, pipeline, sweep, lanes,
+	// noise, faults or victim.
+	Kind string
+
+	// Platform, when present, replaces the context platforms with one
+	// custom configuration (base platform + geometry/policy/prefetcher
+	// overrides). Absent, the scenario runs on the context's platforms
+	// (both paper machines by default, or the CLI -platform selection).
+	Platform *PlatformSpec
+	// Channel overrides fields of the per-platform DefaultConfig.
+	Channel *ChannelSpec
+	// Transport overrides fields of the per-platform
+	// DefaultTransportConfig (faults kind only).
+	Transport *TransportSpec
+
+	// Exactly one of the following sections is set, per Kind.
+	StateWalk *StateWalkSpec
+	Pipeline  *PipelineSpec
+	Sweep     *SweepSpec
+	Lanes     *LanesSpec
+	Noise     *NoiseSpec
+	Faults    *FaultsSpec
+	Victim    *VictimSpec
+
+	// Extract defines named typed extractors over the run's report text
+	// and metrics; Assert defines pass/fail checks over metrics and
+	// extracted values.
+	Extract []Extractor
+	Assert  []Assertion
+}
+
+// Kind names.
+const (
+	KindStateWalk = "statewalk"
+	KindPipeline  = "pipeline"
+	KindSweep     = "sweep"
+	KindLanes     = "lanes"
+	KindNoise     = "noise"
+	KindFaults    = "faults"
+	KindVictim    = "victim"
+)
+
+// Kinds lists the valid Kind values.
+func Kinds() []string {
+	return []string{KindStateWalk, KindPipeline, KindSweep, KindLanes, KindNoise, KindFaults, KindVictim}
+}
+
+// PlatformSpec derives a custom platform from a named base. Zero-valued
+// geometry fields inherit the base; pointer fields distinguish "absent"
+// from an explicit false/zero.
+type PlatformSpec struct {
+	// Base is "skylake" (default) or "kabylake".
+	Base string
+	// Name relabels the platform in output.
+	Name string
+	// Geometry overrides (0 = inherit base).
+	Cores                               int
+	FreqGHz                             float64
+	L1Sets, L1Ways                      int
+	L2Sets, L2Ways                      int
+	LLCSlices, LLCSetsPerSlice, LLCWays int
+	// LLCPolicy selects the last-level replacement policy: quadage
+	// (stock), quadage-countermeasure, lru, bit-plru, tree-plru, srrip
+	// or random. Empty inherits the base (stock QuadAge).
+	LLCPolicy string
+	// Prefetcher switches (absent = inherit base, which is off).
+	AdjacentLine   *bool
+	StreamPrefetch *bool
+	// NonInclusive switches the LLC to the server-part organization.
+	NonInclusive *bool
+	// LLCPartitionWays enables the way-partitioning defense.
+	LLCPartitionWays *int
+}
+
+// LLCPolicies lists the valid LLCPolicy values.
+func LLCPolicies() []string {
+	return []string{"quadage", "quadage-countermeasure", "lru", "bit-plru", "tree-plru", "srrip", "random"}
+}
+
+// Config resolves the spec into a concrete platform configuration.
+// Validate has already checked Base and LLCPolicy, so Config panics on an
+// unvalidated spec rather than failing silently.
+func (p *PlatformSpec) Config() hier.Config {
+	base := p.Base
+	if base == "" {
+		base = "skylake"
+	}
+	cfg, ok := platform.ByName(base)
+	if !ok {
+		panic("scenario: unvalidated platform base " + base)
+	}
+	if p.Name != "" {
+		cfg.Name = p.Name
+	}
+	if p.Cores > 0 {
+		cfg.Cores = p.Cores
+	}
+	if p.FreqGHz > 0 {
+		cfg.FreqGHz = p.FreqGHz
+	}
+	setIf := func(dst *int, v int) {
+		if v > 0 {
+			*dst = v
+		}
+	}
+	setIf(&cfg.L1Sets, p.L1Sets)
+	setIf(&cfg.L1Ways, p.L1Ways)
+	setIf(&cfg.L2Sets, p.L2Sets)
+	setIf(&cfg.L2Ways, p.L2Ways)
+	setIf(&cfg.LLCSlices, p.LLCSlices)
+	setIf(&cfg.LLCSetsPerSlice, p.LLCSetsPerSlice)
+	setIf(&cfg.LLCWays, p.LLCWays)
+	if p.LLCPolicy != "" {
+		cfg.LLCPolicy = llcPolicy(p.LLCPolicy)
+	}
+	if p.AdjacentLine != nil {
+		cfg.HWPrefetch.AdjacentLine = *p.AdjacentLine
+	}
+	if p.StreamPrefetch != nil {
+		cfg.HWPrefetch.Stream = *p.StreamPrefetch
+	}
+	if p.NonInclusive != nil {
+		cfg.NonInclusive = *p.NonInclusive
+	}
+	if p.LLCPartitionWays != nil {
+		cfg.LLCPartitionWays = *p.LLCPartitionWays
+	}
+	return cfg
+}
+
+func llcPolicy(name string) policy.Policy {
+	switch name {
+	case "quadage":
+		return policy.NewQuadAge()
+	case "quadage-countermeasure":
+		return policy.NewQuadAgeCountermeasure()
+	case "lru":
+		return policy.NewLRU()
+	case "bit-plru":
+		return policy.NewBitPLRU()
+	case "tree-plru":
+		return policy.NewTreePLRU()
+	case "srrip":
+		return policy.NewSRRIP()
+	case "random":
+		return policy.NewRandom(0)
+	}
+	panic("scenario: unvalidated llc_policy " + name)
+}
+
+// ChannelSpec holds sparse overrides over the per-platform calibrated
+// channel.DefaultConfig. Every field is a pointer so an explicit zero
+// (e.g. noise_period: 0, meaning "no background noise daemon") is
+// distinguishable from "inherit the default".
+type ChannelSpec struct {
+	Interval         *int64
+	Sets             *int
+	SenderOffset     *int64
+	ReceiverOffset   *int64
+	ProtocolOverhead *int64
+	Start            *int64
+	NoisePeriod      *int64
+	PrimeWalks       *int
+}
+
+// Apply overlays the overrides on base. A nil spec returns base as-is.
+func (c *ChannelSpec) Apply(base channel.Config) channel.Config {
+	if c == nil {
+		return base
+	}
+	if c.Interval != nil {
+		base.Interval = *c.Interval
+	}
+	if c.Sets != nil {
+		base.Sets = *c.Sets
+	}
+	if c.SenderOffset != nil {
+		base.SenderOffset = *c.SenderOffset
+	}
+	if c.ReceiverOffset != nil {
+		base.ReceiverOffset = *c.ReceiverOffset
+	}
+	if c.ProtocolOverhead != nil {
+		base.ProtocolOverhead = *c.ProtocolOverhead
+	}
+	if c.Start != nil {
+		base.Start = *c.Start
+	}
+	if c.NoisePeriod != nil {
+		base.NoisePeriod = *c.NoisePeriod
+	}
+	if c.PrimeWalks != nil {
+		base.PrimeWalks = *c.PrimeWalks
+	}
+	return base
+}
+
+// TransportSpec holds sparse overrides over the per-platform
+// channel.DefaultTransportConfig.
+type TransportSpec struct {
+	Channel      *ChannelSpec
+	MaxRetries   *int
+	FERWindow    *int
+	FERThreshold *float64
+}
+
+// Apply overlays the overrides on base. A nil spec returns base as-is.
+func (t *TransportSpec) Apply(base channel.TransportConfig) channel.TransportConfig {
+	if t == nil {
+		return base
+	}
+	base.Channel = t.Channel.Apply(base.Channel)
+	if t.MaxRetries != nil {
+		base.MaxRetries = *t.MaxRetries
+	}
+	if t.FERWindow != nil {
+		base.FERWindow = *t.FERWindow
+	}
+	if t.FERThreshold != nil {
+		base.FERThreshold = *t.FERThreshold
+	}
+	return base
+}
+
+// StateWalkSpec renders a Figure 6-style LLC set state walk: the sender
+// transmits Message one bit per phase pair, the receiver reads each bit
+// with a timed prefetch, and every step snapshots the set.
+type StateWalkSpec struct {
+	// Message is the bit string to walk through ("10").
+	Message string
+	// CalibrateSamples sizes the receiver's threshold calibration.
+	CalibrateSamples int
+	// ReceiverReady is the cycle by which the receiver has prepared the
+	// channel; PhaseStep is the spacing between send and read phases.
+	ReceiverReady int64
+	PhaseStep     int64
+}
+
+// PipelineSpec demonstrates the two-set pipelined NTP+NTP schedule
+// (Figure 7) on Message.
+type PipelineSpec struct {
+	Message string
+}
+
+// SweepSpec measures capacity and BER across transmission intervals
+// (Figure 8) for one or more channels on every platform.
+type SweepSpec struct {
+	// Bits per transmission (quick mode scales it down).
+	Bits int
+	// Channels are swept in order; with exactly two, the report adds the
+	// peak-vs-peak comparison line.
+	Channels []SweepChannel
+}
+
+// SweepChannel is one swept channel: a registry key plus its interval
+// grid.
+type SweepChannel struct {
+	// Channel is "ntpntp" or "primeprobe"; it keys the seed derivation,
+	// the trace-stream labels and the "<platform>/<channel>_peak_kbps"
+	// metrics.
+	Channel string
+	// Intervals is the cycle grid to sweep.
+	Intervals []int64
+}
+
+// SweepChannels lists the valid SweepChannel.Channel values.
+func SweepChannels() []string { return []string{"ntpntp", "primeprobe"} }
+
+// LanesSpec measures multi-lane NTP+NTP bandwidth scaling: each lane
+// count runs at intervals LaneCost*lanes + overhead + offset and the best
+// offset wins.
+type LanesSpec struct {
+	Bits int
+	// LaneCounts are the lane widths to measure; each lane occupies two
+	// LLC sets, so 2*max(LaneCounts) must fit the LLC sets per slice.
+	LaneCounts []int
+	// Offsets are interval paddings swept around the expected knee.
+	Offsets []int64
+	// LaneCost is the per-lane receiver probe budget in cycles.
+	LaneCost int64
+}
+
+// NoiseSpec measures raw and interleaved-Hamming(7,4) reliability across
+// co-tenant noise intensities.
+type NoiseSpec struct {
+	Bits int
+	// Periods are noise-daemon fill periods in cycles (0 = quiet).
+	Periods []int64
+	// InterleaveDepth is the Hamming(7,4) block-interleave depth.
+	InterleaveDepth int
+}
+
+// FaultsSpec runs every fault scenario against the raw channel, an
+// interleaved-Hamming encoding and the ARQ transport.
+type FaultsSpec struct {
+	// RawBits per raw/Hamming transmission (quick mode scales it down);
+	// ARQBits is the ARQ payload length (fixed, not scaled).
+	RawBits int
+	ARQBits int
+	// InterleaveDepth is the Hamming(7,4) block-interleave depth.
+	InterleaveDepth int
+	// Scenarios is the injection menu; an empty Faults list means "no
+	// injection" (the baseline row).
+	Scenarios []FaultScenario
+}
+
+// FaultScenario is one line of the injection menu: a key (used for seed
+// derivation, trace labels and metric names) plus the faults to compose.
+type FaultScenario struct {
+	Key    string
+	Faults []FaultSpec
+}
+
+// Compile builds the composable fault scenario: nil for none, the bare
+// scenario for one, a deterministic composite for several — exactly the
+// shapes the hand-coded experiments build, so seed derivations match.
+func (s FaultScenario) Compile() fault.Scenario {
+	switch len(s.Faults) {
+	case 0:
+		return nil
+	case 1:
+		return s.Faults[0].Compile()
+	}
+	parts := make([]fault.Scenario, len(s.Faults))
+	for i, f := range s.Faults {
+		parts[i] = f.Compile()
+	}
+	return fault.Compose(parts...)
+}
+
+// FaultSpec is one composable fault. Type selects the scenario; only the
+// fields that scenario uses may be set (the validator rejects the rest).
+type FaultSpec struct {
+	// Type is preemption, pollution, clock-drift, timer-spikes or
+	// migration.
+	Type string
+	// Role targets "sender" or "receiver" (default receiver) for the
+	// per-agent types.
+	Role string
+	// Preemption: Count windows of duration uniform in [MinDur, MaxDur].
+	Count          int
+	MinDur, MaxDur int64
+	// Pollution: Bursts × Walks walks with Gap idle cycles per load.
+	Bursts, Walks int
+	Gap           int64
+	// Clock-drift: PPM parts per million.
+	PPM int64
+	// Timer-spikes: Count windows of Dur cycles adding up to Extra.
+	Dur, Extra int64
+	// Migration: rescheduling stall in cycles.
+	Cost int64
+}
+
+// FaultTypes lists the valid FaultSpec.Type values.
+func FaultTypes() []string {
+	return []string{"preemption", "pollution", "clock-drift", "timer-spikes", "migration"}
+}
+
+func faultRole(role string) string {
+	if role == "sender" {
+		return fault.RoleSender
+	}
+	return ""
+}
+
+// Compile builds the concrete fault scenario. Validate has already
+// checked Type, so Compile panics on an unvalidated spec.
+func (f FaultSpec) Compile() fault.Scenario {
+	switch f.Type {
+	case "preemption":
+		return fault.Preemption{Role: faultRole(f.Role), Count: f.Count, MinDur: f.MinDur, MaxDur: f.MaxDur}
+	case "pollution":
+		return fault.Pollution{Bursts: f.Bursts, Walks: f.Walks, Gap: f.Gap}
+	case "clock-drift":
+		return fault.ClockDrift{Role: faultRole(f.Role), PPM: f.PPM}
+	case "timer-spikes":
+		return fault.TimerSpikes{Role: faultRole(f.Role), Count: f.Count, Dur: f.Dur, Extra: f.Extra}
+	case "migration":
+		return fault.Migration{Role: faultRole(f.Role), Cost: f.Cost}
+	}
+	panic("scenario: unvalidated fault type " + f.Type)
+}
+
+// VictimSpec runs a victim program under a spy — no Go code needed to
+// express an end-to-end key-recovery scenario.
+type VictimSpec struct {
+	// Program selects the victim: "aes" (T-table AES under a
+	// Flush+Reload T-table spy, first-round elimination analysis).
+	Program string
+	// Key is the victim's 16-byte AES key as 32 hex characters.
+	Key string
+	// Encryptions the spy observes.
+	Encryptions int
+	// Window is the victim's per-encryption cycle budget; Start the
+	// cycle of the first encryption.
+	Window int64
+	Start  int64
+}
+
+// VictimPrograms lists the valid VictimSpec.Program values.
+func VictimPrograms() []string { return []string{"aes"} }

@@ -1,0 +1,317 @@
+package scenario
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// A hand-rolled parser for the YAML subset templates use: block mappings
+// and sequences nested by two-space indentation, flow lists of scalars,
+// quoted and plain scalars, comments. No anchors, no multi-document
+// streams, no multi-line scalars — the point is a dependency-free,
+// strict, line-diagnosable format, not full YAML. Every error carries
+// file:line context.
+//
+// Scalars type as: null/~ → nil, true/false → bool, integers → int64,
+// floats → float64, everything else → string (quote strings that would
+// otherwise parse as another type).
+
+type yamlLine struct {
+	indent int
+	no     int
+	text   string
+}
+
+type yamlParser struct {
+	file  string
+	lines []yamlLine
+	pos   int
+}
+
+func parseYAML(data []byte, file string) (v any, err error) {
+	p := &yamlParser{file: file}
+	if err := p.split(string(data)); err != nil {
+		return nil, err
+	}
+	if len(p.lines) == 0 {
+		return nil, fmt.Errorf("%s: empty document", file)
+	}
+	root, err := p.parseBlock(p.lines[0].indent)
+	if err != nil {
+		return nil, err
+	}
+	if p.pos < len(p.lines) {
+		l := p.lines[p.pos]
+		return nil, fmt.Errorf("%s:%d: unexpected indentation (indent %d after a block at indent %d)",
+			file, l.no, l.indent, p.lines[0].indent)
+	}
+	return root, nil
+}
+
+// split breaks the document into significant lines, dropping blanks and
+// comment-only lines and rejecting constructs outside the subset.
+func (p *yamlParser) split(s string) error {
+	for no, raw := range strings.Split(s, "\n") {
+		line := strings.TrimRight(raw, " \r")
+		trimmed := strings.TrimLeft(line, " ")
+		if trimmed == "" || strings.HasPrefix(trimmed, "#") {
+			continue
+		}
+		indent := len(line) - len(trimmed)
+		if strings.HasPrefix(trimmed, "\t") {
+			return fmt.Errorf("%s:%d: tab in indentation (use spaces)", p.file, no+1)
+		}
+		if trimmed == "---" || strings.HasPrefix(trimmed, "--- ") {
+			return fmt.Errorf("%s:%d: multi-document streams are not supported", p.file, no+1)
+		}
+		p.lines = append(p.lines, yamlLine{indent: indent, no: no + 1, text: trimmed})
+	}
+	return nil
+}
+
+// parseBlock parses the mapping or sequence whose entries sit at exactly
+// the given indent, consuming lines until the indentation drops.
+func (p *yamlParser) parseBlock(indent int) (any, error) {
+	l := p.lines[p.pos]
+	if l.text == "-" || strings.HasPrefix(l.text, "- ") {
+		return p.parseSequence(indent)
+	}
+	return p.parseMapping(indent)
+}
+
+func (p *yamlParser) parseMapping(indent int) (any, error) {
+	m := map[string]any{}
+	for p.pos < len(p.lines) {
+		l := p.lines[p.pos]
+		if l.indent < indent {
+			break
+		}
+		if l.indent > indent {
+			return nil, fmt.Errorf("%s:%d: unexpected indentation (expected a key at indent %d)", p.file, l.no, indent)
+		}
+		if l.text == "-" || strings.HasPrefix(l.text, "- ") {
+			return nil, fmt.Errorf("%s:%d: sequence item in a mapping block", p.file, l.no)
+		}
+		key, rest, err := p.splitKey(l)
+		if err != nil {
+			return nil, err
+		}
+		if _, dup := m[key]; dup {
+			return nil, fmt.Errorf("%s:%d: duplicate key %q", p.file, l.no, key)
+		}
+		p.pos++
+		if rest != "" {
+			v, err := p.parseScalar(rest, l.no)
+			if err != nil {
+				return nil, err
+			}
+			m[key] = v
+			continue
+		}
+		// Empty value: a nested block if the next line is deeper, null
+		// otherwise.
+		if p.pos < len(p.lines) && p.lines[p.pos].indent > indent {
+			v, err := p.parseBlock(p.lines[p.pos].indent)
+			if err != nil {
+				return nil, err
+			}
+			m[key] = v
+		} else {
+			m[key] = nil
+		}
+	}
+	return m, nil
+}
+
+func (p *yamlParser) parseSequence(indent int) (any, error) {
+	seq := []any{}
+	for p.pos < len(p.lines) {
+		l := p.lines[p.pos]
+		if l.indent < indent {
+			break
+		}
+		if l.indent > indent {
+			return nil, fmt.Errorf("%s:%d: unexpected indentation (expected a \"- \" item at indent %d)", p.file, l.no, indent)
+		}
+		if l.text != "-" && !strings.HasPrefix(l.text, "- ") {
+			break
+		}
+		if l.text == "-" {
+			// Item body is the nested block on the following lines.
+			p.pos++
+			if p.pos >= len(p.lines) || p.lines[p.pos].indent <= indent {
+				seq = append(seq, nil)
+				continue
+			}
+			v, err := p.parseBlock(p.lines[p.pos].indent)
+			if err != nil {
+				return nil, err
+			}
+			seq = append(seq, v)
+			continue
+		}
+		item := strings.TrimLeft(l.text[2:], " ")
+		pad := len(l.text) - len(item)
+		if isInlineMapStart(item) {
+			// "- key: value": rewrite the line as the mapping's first
+			// entry (at the key's real column) and parse the mapping.
+			p.lines[p.pos] = yamlLine{indent: l.indent + pad, no: l.no, text: item}
+			v, err := p.parseMapping(l.indent + pad)
+			if err != nil {
+				return nil, err
+			}
+			seq = append(seq, v)
+			continue
+		}
+		p.pos++
+		v, err := p.parseScalar(item, l.no)
+		if err != nil {
+			return nil, err
+		}
+		seq = append(seq, v)
+	}
+	return seq, nil
+}
+
+// keyRe matches the simple keys the schema uses.
+func isSimpleKey(s string) bool {
+	if s == "" {
+		return false
+	}
+	for _, r := range s {
+		if !(r == '_' || r == '-' || (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') || (r >= '0' && r <= '9')) {
+			return false
+		}
+	}
+	return true
+}
+
+func isInlineMapStart(item string) bool {
+	i := strings.IndexByte(item, ':')
+	if i <= 0 {
+		return false
+	}
+	if i+1 < len(item) && item[i+1] != ' ' {
+		return false
+	}
+	return isSimpleKey(item[:i])
+}
+
+func (p *yamlParser) splitKey(l yamlLine) (key, rest string, err error) {
+	i := strings.IndexByte(l.text, ':')
+	if i <= 0 {
+		return "", "", fmt.Errorf("%s:%d: expected \"key: value\", got %q", p.file, l.no, l.text)
+	}
+	key = l.text[:i]
+	if !isSimpleKey(key) {
+		return "", "", fmt.Errorf("%s:%d: invalid key %q (keys are [A-Za-z0-9_-]+)", p.file, l.no, key)
+	}
+	rest = strings.TrimLeft(l.text[i+1:], " ")
+	if rest != "" && l.text[i+1] != ' ' {
+		return "", "", fmt.Errorf("%s:%d: missing space after %q:", p.file, l.no, key)
+	}
+	return key, stripComment(rest), nil
+}
+
+// stripComment removes a trailing " #..." comment outside quotes.
+func stripComment(s string) string {
+	inSingle, inDouble := false, false
+	for i := 0; i < len(s); i++ {
+		switch {
+		case s[i] == '\'' && !inDouble:
+			inSingle = !inSingle
+		case s[i] == '"' && !inSingle:
+			if i == 0 || s[i-1] != '\\' || !inDouble {
+				inDouble = !inDouble
+			}
+		case s[i] == '#' && !inSingle && !inDouble && i > 0 && s[i-1] == ' ':
+			return strings.TrimRight(s[:i], " ")
+		}
+	}
+	return s
+}
+
+func (p *yamlParser) parseScalar(s string, no int) (any, error) {
+	s = stripComment(s)
+	if s == "" {
+		return nil, nil
+	}
+	// Flow sequence of scalars.
+	if s[0] == '[' {
+		if !strings.HasSuffix(s, "]") {
+			return nil, fmt.Errorf("%s:%d: unterminated flow sequence %q", p.file, no, s)
+		}
+		body := strings.TrimSpace(s[1 : len(s)-1])
+		if body == "" {
+			return []any{}, nil
+		}
+		if strings.ContainsAny(body, "[]{}") {
+			return nil, fmt.Errorf("%s:%d: nested flow collections are not supported", p.file, no)
+		}
+		var out []any
+		for _, part := range strings.Split(body, ",") {
+			v, err := p.parseScalar(strings.TrimSpace(part), no)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, v)
+		}
+		return out, nil
+	}
+	switch s[0] {
+	case '{', '&', '*', '|', '>', '%', '@', '`', ',', ']', '}':
+		return nil, fmt.Errorf("%s:%d: unsupported YAML construct %q", p.file, no, s)
+	case '"':
+		u, err := strconv.Unquote(s)
+		if err != nil {
+			return nil, fmt.Errorf("%s:%d: bad quoted string %s: %v", p.file, no, s, err)
+		}
+		return u, nil
+	case '\'':
+		if len(s) < 2 || s[len(s)-1] != '\'' {
+			return nil, fmt.Errorf("%s:%d: unterminated single-quoted string %s", p.file, no, s)
+		}
+		return strings.ReplaceAll(s[1:len(s)-1], "''", "'"), nil
+	}
+	switch s {
+	case "null", "~":
+		return nil, nil
+	case "true":
+		return true, nil
+	case "false":
+		return false, nil
+	}
+	if looksNumeric(s) {
+		if i, err := strconv.ParseInt(s, 10, 64); err == nil {
+			return i, nil
+		}
+		if f, err := strconv.ParseFloat(s, 64); err == nil {
+			return f, nil
+		}
+		return nil, fmt.Errorf("%s:%d: malformed number %q", p.file, no, s)
+	}
+	return s, nil
+}
+
+// looksNumeric reports whether a plain scalar should be parsed as a
+// number (so "3fa" stays a string but "3e4" is a float).
+func looksNumeric(s string) bool {
+	t := strings.TrimLeft(s, "+-")
+	if t == "" {
+		return false
+	}
+	if t[0] < '0' || t[0] > '9' {
+		if t[0] != '.' || len(t) < 2 || t[1] < '0' || t[1] > '9' {
+			return false
+		}
+	}
+	for _, r := range t {
+		switch {
+		case r >= '0' && r <= '9', r == '.', r == 'e', r == 'E', r == '+', r == '-', r == '_':
+		default:
+			return false
+		}
+	}
+	return true
+}

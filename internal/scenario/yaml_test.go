@@ -1,0 +1,139 @@
+package scenario
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// TestParseYAMLScalars pins the scalar typing rules the schema relies on.
+func TestParseYAMLScalars(t *testing.T) {
+	cases := []struct {
+		in   string
+		want any
+	}{
+		{"key: null", nil},
+		{"key: ~", nil},
+		{"key:", nil},
+		{"key: true", true},
+		{"key: false", false},
+		{"key: 42", int64(42)},
+		{"key: -8000", int64(-8000)},
+		{"key: 2.5", 2.5},
+		{"key: 3e4", 3e4},
+		{"key: hello", "hello"},
+		{"key: 3fa", "3fa"},      // digit-led but not numeric
+		{"key: \"10\"", "10"},    // quoting defeats numeric typing
+		{"key: 'it''s'", "it's"}, // single-quote escaping
+		{"key: a: b", "a: b"},    // colon inside a value
+		{"key: value # trailing comment", "value"},
+		{"key: [1, 2, 3]", []any{int64(1), int64(2), int64(3)}},
+		{"key: []", []any{}},
+		{"key: [a, \"2\"]", []any{"a", "2"}},
+	}
+	for _, tc := range cases {
+		root, err := parseYAML([]byte(tc.in), "t.yaml")
+		if err != nil {
+			t.Errorf("%q: %v", tc.in, err)
+			continue
+		}
+		got := root.(map[string]any)["key"]
+		if !reflect.DeepEqual(got, tc.want) {
+			t.Errorf("%q: got %#v (%T), want %#v (%T)", tc.in, got, got, tc.want, tc.want)
+		}
+	}
+}
+
+// TestParseYAMLStructure covers nesting: block mappings, block sequences,
+// inline "- key: value" items, and comment/blank-line handling.
+func TestParseYAMLStructure(t *testing.T) {
+	doc := `# leading comment
+top: 1
+
+nested:
+  a: x
+  b:
+    - item1
+    - item2
+items:
+  - key: k1
+    val: 1
+  - key: k2
+    val: 2
+`
+	root, err := parseYAML([]byte(doc), "t.yaml")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]any{
+		"top": int64(1),
+		"nested": map[string]any{
+			"a": "x",
+			"b": []any{"item1", "item2"},
+		},
+		"items": []any{
+			map[string]any{"key": "k1", "val": int64(1)},
+			map[string]any{"key": "k2", "val": int64(2)},
+		},
+	}
+	if !reflect.DeepEqual(root, want) {
+		t.Fatalf("got %#v\nwant %#v", root, want)
+	}
+}
+
+// TestParseYAMLErrors: every rejected construct must carry file:line
+// context so template authors can find the offending line.
+func TestParseYAMLErrors(t *testing.T) {
+	cases := []struct {
+		name, doc, wantLine, wantMsg string
+	}{
+		{"empty document", "# only a comment\n", "t.yaml", "empty document"},
+		{"tab indent", "a: 1\n\tb: 2\n", "t.yaml:2", "tab in indentation"},
+		{"multi-document", "a: 1\n---\nb: 2\n", "t.yaml:2", "multi-document"},
+		{"duplicate key", "a: 1\na: 2\n", "t.yaml:2", "duplicate key"},
+		{"missing space after colon", "a:1\n", "t.yaml:1", "missing space"},
+		{"invalid key", "a b: 1\n", "t.yaml:1", "invalid key"},
+		{"bare text", "just words\n", "t.yaml:1", `expected "key: value"`},
+		{"sequence in mapping", "a: 1\n- b\n", "t.yaml:2", "sequence item in a mapping"},
+		{"over-indent", "a: 1\n    b: 2\n", "t.yaml:2", "unexpected indentation"},
+		{"under-indent tail", "a:\n  b: 1\n c: 2\n", "t.yaml:3", "unexpected indentation"},
+		{"unterminated flow", "a: [1, 2\n", "t.yaml:1", "unterminated flow"},
+		{"nested flow", "a: [[1], 2]\n", "t.yaml:1", "nested flow collections"},
+		{"bad quoted string", "a: \"oops\n", "t.yaml:1", "bad quoted string"},
+		{"unterminated single quote", "a: 'oops\n", "t.yaml:1", "unterminated single-quoted"},
+		{"unsupported construct", "a: {b: 1}\n", "t.yaml:1", "unsupported YAML construct"},
+		{"unsupported anchor", "a: &anchor\n", "t.yaml:1", "unsupported YAML construct"},
+		{"malformed number", "a: 1.2.3\n", "t.yaml:1", "malformed number"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := parseYAML([]byte(tc.doc), "t.yaml")
+			if err == nil {
+				t.Fatalf("accepted %q", tc.doc)
+			}
+			if !strings.Contains(err.Error(), tc.wantLine) {
+				t.Errorf("error lacks location %q: %v", tc.wantLine, err)
+			}
+			if !strings.Contains(err.Error(), tc.wantMsg) {
+				t.Errorf("error lacks %q: %v", tc.wantMsg, err)
+			}
+		})
+	}
+}
+
+// TestStripComment pins the quote-awareness of comment stripping.
+func TestStripComment(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"plain", "plain"},
+		{"value # comment", "value"},
+		{"value#nospace", "value#nospace"},
+		{`"a # b"`, `"a # b"`},
+		{"'a # b'", "'a # b'"},
+		{`"quoted" # comment`, `"quoted"`},
+	}
+	for _, tc := range cases {
+		if got := stripComment(tc.in); got != tc.want {
+			t.Errorf("stripComment(%q) = %q, want %q", tc.in, got, tc.want)
+		}
+	}
+}

@@ -33,6 +33,7 @@ import (
 	"leakyway/internal/hier"
 	"leakyway/internal/mem"
 	"leakyway/internal/platform"
+	"leakyway/internal/scenario"
 	"leakyway/internal/sim"
 	"leakyway/internal/trace"
 	"leakyway/internal/victim"
@@ -419,6 +420,49 @@ func RunExperiment(ctx *ExperimentContext, id string) (*ExperimentResult, error)
 func RunAllExperiments(ctx *ExperimentContext) (map[string]*ExperimentResult, error) {
 	return experiments.RunAll(ctx)
 }
+
+//
+// Declarative scenario templates (YAML/JSON experiment DSL).
+//
+
+// Scenario is one declarative scenario specification: platform geometry,
+// channel/transport overrides, the experiment section matching its kind,
+// and optional extractors with pass/fail assertions.
+type Scenario = scenario.Spec
+
+// ScenarioEvaluation is the post-run extractor/assertion outcome of a
+// template; produce one with (*Scenario).Evaluate.
+type ScenarioEvaluation = scenario.Evaluation
+
+// LoadScenario parses and validates one template file. On any error no
+// Scenario is returned — a template loads completely or not at all.
+func LoadScenario(path string) (*Scenario, error) { return scenario.Load(path) }
+
+// LoadScenarios loads a template file, or every template in a directory
+// (sorted by name).
+func LoadScenarios(path string) ([]*Scenario, error) { return scenario.LoadPath(path) }
+
+// ParseScenario parses and validates template bytes; filename selects the
+// format (.json = JSON, else YAML) and prefixes every error.
+func ParseScenario(data []byte, filename string) (*Scenario, error) {
+	return scenario.Parse(data, filename)
+}
+
+// MarshalScenario renders a Scenario in the canonical template form —
+// byte-stable, and Parse(Marshal(s)) reproduces s exactly.
+func MarshalScenario(s *Scenario) []byte { return scenario.Marshal(s) }
+
+// RunScenarios executes scenarios through the standard experiment engine:
+// same worker pool, seed derivation and report flush order, so a template
+// sharing an ID with a registered experiment reproduces its output
+// byte-identically for any job count.
+func RunScenarios(ctx *ExperimentContext, specs []*Scenario) (map[string]*ExperimentResult, error) {
+	return experiments.RunSpecs(ctx, specs)
+}
+
+// BuiltinScenarios returns the Spec literals behind the shipped templates/
+// pack (fig6, fig7, fig8, faults, ablate-lanes, noise).
+func BuiltinScenarios() []*Scenario { return experiments.BuiltinSpecs() }
 
 //
 // Cycle-level tracing (observability).
