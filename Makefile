@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: all build vet fmt-check staticcheck test race fuzz-smoke trace-smoke template-validate verify bench bench-jobs bench-check bench-baseline cover clean
+.PHONY: all build vet fmt-check staticcheck test race fuzz-smoke trace-smoke template-validate daemon-smoke verify bench bench-jobs bench-check bench-baseline cover clean
 
 all: verify
 
@@ -65,7 +65,14 @@ trace-smoke:
 	cmp /tmp/leakyway-trace-j1.jsonl /tmp/leakyway-trace-j8.jsonl
 	@echo "trace-smoke: traces byte-identical across -jobs 1/8"
 
-verify: build vet fmt-check staticcheck test race fuzz-smoke trace-smoke template-validate
+# Daemon robustness gate: drives the real leakywayd binary over HTTP and
+# signals — cache-hit resubmission, SIGTERM drain (exit 0, accepted jobs
+# completed), and SIGKILL crash-recovery with byte-identical metrics.
+daemon-smoke:
+	$(GO) build -o /tmp/leakywayd-smoke ./cmd/leakywayd
+	$(GO) run ./cmd/daemonsmoke -bin /tmp/leakywayd-smoke
+
+verify: build vet fmt-check staticcheck test race fuzz-smoke trace-smoke template-validate daemon-smoke
 
 # Full benchmark sweep (quick-mode trial counts).
 bench:

@@ -1,0 +1,277 @@
+// Command daemonsmoke is the end-to-end robustness gate for leakywayd.
+// It drives the real daemon binary over real HTTP and real signals and
+// proves the three properties the service exists for:
+//
+//  1. an identical resubmission is a cache hit (no re-simulation);
+//  2. SIGTERM drains — every accepted job completes and the process
+//     exits 0;
+//  3. SIGKILL loses nothing — a restart from the same data directory
+//     recovers the journalled job and produces byte-identical metrics.
+//
+// Run via `make daemon-smoke`, which builds the binary and passes -bin.
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"syscall"
+	"time"
+)
+
+var (
+	bin      = flag.String("bin", "", "path to the leakywayd binary (required)")
+	template = flag.String("template", "templates/fig6.yaml", "scenario template to submit")
+)
+
+func main() {
+	flag.Parse()
+	if *bin == "" {
+		fatalf("-bin is required")
+	}
+	tmpl, err := os.ReadFile(*template)
+	if err != nil {
+		fatalf("template: %v", err)
+	}
+
+	m1 := phaseDrain(string(tmpl))
+	m2 := phaseCrashRecovery(string(tmpl))
+	if !bytes.Equal(m1, m2) {
+		fatalf("metrics diverge: drained run vs crash-recovered run\n--- drained ---\n%s\n--- recovered ---\n%s", m1, m2)
+	}
+	fmt.Println("daemon-smoke: cache-hit, drain and crash-recovery all verified; metrics byte-identical")
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "daemonsmoke: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+// daemon wraps one running leakywayd process.
+type daemon struct {
+	cmd  *exec.Cmd
+	base string // http://host:port
+}
+
+var listenRe = regexp.MustCompile(`listening on (\S+)`)
+
+// startDaemon launches the binary on an ephemeral port and scrapes the
+// bound address from its log output.
+func startDaemon(dataDir string, extra ...string) *daemon {
+	args := append([]string{"-addr", "127.0.0.1:0", "-data", dataDir}, extra...)
+	cmd := exec.Command(*bin, args...)
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		fatalf("stderr pipe: %v", err)
+	}
+	if err := cmd.Start(); err != nil {
+		fatalf("start %s: %v", *bin, err)
+	}
+
+	addrCh := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(stderr)
+		for sc.Scan() {
+			line := sc.Text()
+			fmt.Fprintln(os.Stderr, "  [daemon]", line)
+			if m := listenRe.FindStringSubmatch(line); m != nil {
+				select {
+				case addrCh <- m[1]:
+				default:
+				}
+			}
+		}
+	}()
+
+	select {
+	case addr := <-addrCh:
+		return &daemon{cmd: cmd, base: "http://" + addr}
+	case <-time.After(10 * time.Second):
+		cmd.Process.Kill()
+		fatalf("daemon never reported its listen address")
+		return nil
+	}
+}
+
+// wait returns the daemon's exit code.
+func (d *daemon) wait() int {
+	err := d.cmd.Wait()
+	if err == nil {
+		return 0
+	}
+	if ee, ok := err.(*exec.ExitError); ok {
+		return ee.ExitCode()
+	}
+	fatalf("wait: %v", err)
+	return -1
+}
+
+type jobView struct {
+	ID     string `json:"id"`
+	Key    string `json:"key"`
+	Status string `json:"status"`
+	Error  string `json:"error"`
+}
+
+// submit posts one job and returns the parsed view plus the X-Cache
+// header; wantStatus guards the HTTP status.
+func (d *daemon) submit(tmpl string, seed int64, wantStatus int) (jobView, string) {
+	body, _ := json.Marshal(map[string]any{
+		"template": tmpl,
+		"filename": "fig6.yaml",
+		"seed":     seed,
+		"quick":    true,
+	})
+	resp, err := http.Post(d.base+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		fatalf("submit: %v", err)
+	}
+	defer resp.Body.Close()
+	data, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != wantStatus {
+		fatalf("submit: status %d, want %d: %s", resp.StatusCode, wantStatus, data)
+	}
+	var v jobView
+	if err := json.Unmarshal(data, &v); err != nil {
+		fatalf("submit response: %v (%s)", err, data)
+	}
+	return v, resp.Header.Get("X-Cache")
+}
+
+// awaitDone polls a job until it reaches done.
+func (d *daemon) awaitDone(id string) {
+	deadline := time.Now().Add(60 * time.Second)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(d.base + "/v1/jobs/" + id)
+		if err != nil {
+			fatalf("poll %s: %v", id, err)
+		}
+		data, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		var v jobView
+		json.Unmarshal(data, &v)
+		switch v.Status {
+		case "done":
+			return
+		case "failed", "canceled":
+			fatalf("job %s reached %q: %s", id, v.Status, v.Error)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	fatalf("job %s never completed", id)
+}
+
+// artifact fetches one artifact's bytes.
+func (d *daemon) artifact(id, name string) []byte {
+	resp, err := http.Get(d.base + "/v1/jobs/" + id + "/artifacts/" + name)
+	if err != nil {
+		fatalf("artifact %s/%s: %v", id, name, err)
+	}
+	defer resp.Body.Close()
+	data, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != 200 {
+		fatalf("artifact %s/%s: status %d: %s", id, name, resp.StatusCode, data)
+	}
+	return data
+}
+
+// phaseDrain proves cache-hit resubmission and SIGTERM drain, returning
+// the metrics bytes of the seed-42 run for cross-phase comparison.
+func phaseDrain(tmpl string) []byte {
+	dir, err := os.MkdirTemp("", "leakywayd-smoke-a-")
+	if err != nil {
+		fatalf("tempdir: %v", err)
+	}
+	defer os.RemoveAll(dir)
+
+	d := startDaemon(filepath.Join(dir, "data"))
+	defer d.cmd.Process.Kill()
+
+	// First submission simulates.
+	j1, cache := d.submit(tmpl, 42, http.StatusAccepted)
+	if cache != "miss" {
+		fatalf("first submission X-Cache %q, want miss", cache)
+	}
+	d.awaitDone(j1.ID)
+	metrics := d.artifact(j1.ID, "metrics")
+	if !json.Valid(metrics) {
+		fatalf("metrics artifact is not valid JSON")
+	}
+	fmt.Println("daemon-smoke: first run completed, metrics fetched")
+
+	// Identical resubmission must be served from the store.
+	j2, cache := d.submit(tmpl, 42, http.StatusOK)
+	if cache != "hit" {
+		fatalf("resubmission X-Cache %q, want hit", cache)
+	}
+	if j2.Key != j1.Key {
+		fatalf("resubmission key %s differs from %s", j2.Key, j1.Key)
+	}
+	fmt.Println("daemon-smoke: resubmission served from cache")
+
+	// Queue one more job, then SIGTERM: the drain must complete it and
+	// the process must exit 0.
+	j3, _ := d.submit(tmpl, 43, http.StatusAccepted)
+	if err := d.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		fatalf("SIGTERM: %v", err)
+	}
+	if code := d.wait(); code != 0 {
+		fatalf("daemon exited %d after SIGTERM, want 0", code)
+	}
+	// The drained job's result must be on disk (entry dir named by key).
+	entry := filepath.Join(dir, "data", "store", strings.TrimPrefix(j3.Key, "sha256:"))
+	if _, err := os.Stat(filepath.Join(entry, "metrics.json")); err != nil {
+		fatalf("drained job %s has no stored result: %v", j3.ID, err)
+	}
+	fmt.Println("daemon-smoke: SIGTERM drained cleanly, accepted job completed")
+	return metrics
+}
+
+// phaseCrashRecovery proves SIGKILL recovery: an accepted job interrupted
+// by a hard kill completes after restart with byte-identical metrics.
+func phaseCrashRecovery(tmpl string) []byte {
+	dir, err := os.MkdirTemp("", "leakywayd-smoke-b-")
+	if err != nil {
+		fatalf("tempdir: %v", err)
+	}
+	defer os.RemoveAll(dir)
+	dataDir := filepath.Join(dir, "data")
+
+	// -stall holds the attempt so the SIGKILL reliably lands while the
+	// accepted job is incomplete.
+	d := startDaemon(dataDir, "-stall", "1h")
+	j, cache := d.submit(tmpl, 42, http.StatusAccepted)
+	if cache != "miss" {
+		fatalf("phase B first submission X-Cache %q, want miss", cache)
+	}
+	if err := d.cmd.Process.Kill(); err != nil {
+		fatalf("SIGKILL: %v", err)
+	}
+	d.wait() // reaps the process; exit code is nonzero by design
+	fmt.Println("daemon-smoke: daemon SIGKILLed with an accepted job in flight")
+
+	// Restart from the same data dir without the stall: the journal must
+	// resurrect the job under the same ID and run it to completion.
+	d2 := startDaemon(dataDir)
+	defer d2.cmd.Process.Kill()
+	d2.awaitDone(j.ID)
+	metrics := d2.artifact(j.ID, "metrics")
+	fmt.Println("daemon-smoke: restart recovered the journalled job to done")
+
+	if err := d2.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		fatalf("SIGTERM: %v", err)
+	}
+	if code := d2.wait(); code != 0 {
+		fatalf("recovered daemon exited %d after SIGTERM, want 0", code)
+	}
+	return metrics
+}

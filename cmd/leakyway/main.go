@@ -159,15 +159,17 @@ func mainRun() int {
 }
 
 // validate loads every template under path, reporting each scenario it
-// accepts. Any malformed template fails the whole pass with its file and
-// field context.
+// accepts along with its canonical fingerprint — the digest leakywayd
+// folds into its result-cache key, printed here through the same
+// canonical-marshal path so CLI and daemon can never drift. Any malformed
+// template fails the whole pass with its file and field context.
 func validate(path string, out io.Writer) error {
 	specs, err := leakyway.LoadScenarios(path)
 	if err != nil {
 		return err
 	}
 	for _, s := range specs {
-		fmt.Fprintf(out, "  ok  %-14s %s\n", s.ID, s.Title)
+		fmt.Fprintf(out, "  ok  %-14s %s  %s\n", s.ID, leakyway.ScenarioFingerprint(s), s.Title)
 	}
 	fmt.Fprintf(out, "%d template(s) valid\n", len(specs))
 	return nil

@@ -1,0 +1,108 @@
+// Command leakywayd serves the experiment engine over HTTP: scenario
+// templates come in as jobs, results come out as content-addressed
+// artifacts. SIGTERM drains — in-flight and queued jobs finish, then the
+// process exits 0; an unclean kill is recovered from the journal on the
+// next start from the same -data directory.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"leakyway/internal/service"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "leakywayd:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		addr       = flag.String("addr", "127.0.0.1:8099", "listen address (use :0 for an ephemeral port)")
+		dataDir    = flag.String("data", "", "data directory for the result store and journal (required)")
+		workers    = flag.Int("workers", 2, "worker pool size")
+		queueCap   = flag.Int("queue", 64, "max queued jobs before submissions get 429")
+		jobTimeout = flag.Duration("job-timeout", 10*time.Minute, "per-attempt deadline")
+		retries    = flag.Int("retries", 2, "retry budget per job after a failed attempt")
+		stall      = flag.Duration("stall", 0, "delay each attempt before simulating (crash-recovery testing)")
+	)
+	flag.Parse()
+	if *dataDir == "" {
+		return fmt.Errorf("-data is required")
+	}
+
+	maxRetries := *retries
+	if maxRetries == 0 {
+		maxRetries = -1 // Config: negative disables retries, 0 means default
+	}
+	srv, err := service.New(service.Config{
+		DataDir:    *dataDir,
+		Workers:    *workers,
+		QueueCap:   *queueCap,
+		JobTimeout: *jobTimeout,
+		MaxRetries: maxRetries,
+		Stall:      *stall,
+	})
+	if err != nil {
+		return err
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	// Printed before serving so drivers using :0 can scrape the port.
+	log.Printf("leakywayd: listening on %s", ln.Addr())
+
+	hs := &http.Server{Handler: srv.Handler()}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- hs.Serve(ln) }()
+
+	sig := make(chan os.Signal, 2)
+	signal.Notify(sig, syscall.SIGTERM, syscall.SIGINT)
+
+	select {
+	case err := <-serveErr:
+		return err
+	case got := <-sig:
+		log.Printf("leakywayd: %v: draining (second signal forces exit)", got)
+	}
+
+	// A second signal during the drain aborts immediately.
+	forced := make(chan struct{})
+	go func() {
+		<-sig
+		close(forced)
+	}()
+	drained := make(chan error, 1)
+	go func() { drained <- srv.Drain() }()
+
+	select {
+	case err := <-drained:
+		if err != nil {
+			return fmt.Errorf("drain: %w", err)
+		}
+	case <-forced:
+		return fmt.Errorf("forced shutdown before drain completed")
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := hs.Shutdown(ctx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	log.Printf("leakywayd: drained cleanly")
+	return nil
+}

@@ -53,8 +53,16 @@ func runExperiments(ctx *Context, list []Experiment) (map[string]*Result, error)
 
 	runTask := func(i int) {
 		e := list[i]
+		// Cancellation checkpoint: a cancelled run starts no new
+		// experiments; already-running ones unwind at their next shard
+		// boundary (see Parallel).
+		if err := ctx.canceled(); err != nil {
+			slots[i].err = err
+			return
+		}
 		sub := ctx.child(SplitSeed(ctx.Seed, e.ID), &slots[i].buf, e.ID)
 		sub.sem = sem
+		sub.guarded = true
 		header(sub, e)
 		slots[i].res, slots[i].err = runGuarded(sub, e)
 	}
@@ -106,11 +114,22 @@ func runExperiments(ctx *Context, list []Experiment) (map[string]*Result, error)
 }
 
 // runGuarded invokes the experiment, converting a panic (e.g. from a sim
-// agent) into an error so one bad task cannot take down the whole pool.
+// agent) into an error so one bad task cannot take down the whole pool —
+// the panic-isolation discipline the daemon's workers rely on. Structured
+// unwinds keep their meaning: a failf abort surfaces as its wrapped error
+// (experiment + phase + cause), and a cancellation abort surfaces as the
+// context's error, so callers can errors.Is against context.Canceled.
 func runGuarded(ctx *Context, e Experiment) (res *Result, err error) {
 	defer func() {
 		if r := recover(); r != nil {
-			err = fmt.Errorf("panic: %v", r)
+			switch v := r.(type) {
+			case taskFail:
+				err = v.err
+			case taskAbort:
+				err = v.err
+			default:
+				err = fmt.Errorf("panic: %v", r)
+			}
 		}
 	}()
 	return e.Run(ctx)
@@ -131,17 +150,51 @@ func (ctx *Context) workers() int {
 // so fn must be schedule-independent: write results into per-index
 // slots and derive any randomness from ctx.ShardSeed(i) (or another
 // SplitSeed key), never from state shared across shards.
+//
+// Two robustness properties hold at shard granularity:
+//
+//   - a panic in any shard — including one running on a recruited helper
+//     goroutine — stops the loop and is re-raised on the calling
+//     goroutine, where the engine's runGuarded converts it into a task
+//     error instead of killing the process;
+//   - when ctx.Ctx is cancelled, no further shards start. Under the
+//     engine the task then unwinds with the context's error; on a
+//     hand-built Context, Parallel simply returns early and the caller
+//     must check ctx.Ctx itself.
 func (ctx *Context) Parallel(n int, fn func(i int)) {
 	if n <= 1 || ctx.sem == nil {
 		for i := 0; i < n; i++ {
+			if err := ctx.canceled(); err != nil {
+				ctx.abort(err)
+				return
+			}
 			fn(i)
 		}
 		return
 	}
 	var next atomic.Int64
 	next.Store(-1)
+	var stop atomic.Bool
+	var firstPanic struct {
+		mu  sync.Mutex
+		val any
+		set bool
+	}
 	work := func() {
+		defer func() {
+			if r := recover(); r != nil {
+				stop.Store(true)
+				firstPanic.mu.Lock()
+				if !firstPanic.set {
+					firstPanic.val, firstPanic.set = r, true
+				}
+				firstPanic.mu.Unlock()
+			}
+		}()
 		for {
+			if stop.Load() || ctx.canceled() != nil {
+				return
+			}
 			i := int(next.Add(1))
 			if i >= n {
 				return
@@ -166,6 +219,25 @@ recruit:
 	}
 	work()
 	wg.Wait()
+	firstPanic.mu.Lock()
+	r, set := firstPanic.val, firstPanic.set
+	firstPanic.mu.Unlock()
+	if set {
+		panic(r)
+	}
+	if err := ctx.canceled(); err != nil {
+		ctx.abort(err)
+	}
+}
+
+// abort unwinds a cancelled task. Under the engine (guarded contexts) it
+// panics with taskAbort, which runGuarded turns into the context error;
+// on a hand-built context it is a no-op so the panic can never reach
+// library callers, and Parallel just returns early instead.
+func (ctx *Context) abort(err error) {
+	if ctx.guarded {
+		panic(taskAbort{err})
+	}
 }
 
 // EachPlatform runs fn once per context platform — concurrently when
@@ -184,6 +256,11 @@ func (ctx *Context) EachPlatform(fn func(sub *Context, cfg hier.Config) error) e
 		sub.Platforms = []hier.Config{cfg}
 		errs[i] = fn(sub, cfg)
 	})
+	// On an unguarded context a cancelled Parallel returns early instead
+	// of unwinding; surface the context error rather than partial output.
+	if err := ctx.canceled(); err != nil {
+		return err
+	}
 	for i := range bufs {
 		if ctx.Out != nil {
 			ctx.mu.Lock()

@@ -6,6 +6,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"runtime"
@@ -35,6 +36,13 @@ type Context struct {
 	// serial. Any value produces byte-identical output for a given seed.
 	Jobs int
 
+	// Ctx, when non-nil, makes the run cancellable: the engine checks it
+	// before starting each experiment and between trial shards handed out
+	// by Parallel, so RunAll returns the context's error (context.Canceled
+	// or DeadlineExceeded) within about one trial shard of cancellation.
+	// Nil (the default) runs to completion with zero checking overhead.
+	Ctx context.Context
+
 	// Trace, when non-nil, collects per-machine event streams; TraceMask
 	// selects the recorded subsystems (zero means all). Stream labels are
 	// derived from experiment/platform/point names — never from
@@ -54,6 +62,11 @@ type Context struct {
 	// sem is the engine-wide worker-token bucket shared by child
 	// contexts; see Parallel in engine.go.
 	sem chan struct{}
+	// guarded marks contexts whose task goroutine runs under runGuarded's
+	// recover. Only then may Parallel unwind a cancelled run with a
+	// taskAbort panic; on a hand-built context it just stops issuing
+	// shards, so the panic can never escape into caller code.
+	guarded bool
 }
 
 // NewContext returns a default context writing to out.
@@ -77,11 +90,23 @@ func (ctx *Context) child(seed int64, out io.Writer, label string) *Context {
 		Quick:     ctx.Quick,
 		Out:       out,
 		Jobs:      ctx.Jobs,
+		Ctx:       ctx.Ctx,
 		Trace:     ctx.Trace,
 		TraceMask: ctx.TraceMask,
 		tracePath: joinLabel(ctx.tracePath, label),
 		sem:       ctx.sem,
+		guarded:   ctx.guarded,
 	}
+}
+
+// canceled reports the run context's error, nil while the run may proceed.
+// It is the engine's cooperative cancellation checkpoint; the nil-Ctx fast
+// path keeps uncancellable runs free of overhead.
+func (ctx *Context) canceled() error {
+	if ctx.Ctx == nil {
+		return nil
+	}
+	return ctx.Ctx.Err()
 }
 
 func joinLabel(base, part string) string {

@@ -34,13 +34,13 @@ func runResolution(ctx *Context) (*Result, error) {
 		victimAS := m.NewSpace()
 		anchor, err := attackerAS.Alloc(mem.PageSize)
 		if err != nil {
-			panic(err)
+			failf("resolution", "alloc anchor page", err)
 		}
 		evset := append([]mem.VAddr{anchor},
 			core.MustCongruentLines(m, attackerAS, anchor, cfg.LLCWays-1)...)
 		dvs, err := core.CongruentWithLine(m, victimAS, attackerAS.MustTranslate(anchor).Line(), 1)
 		if err != nil {
-			panic(err)
+			failf("resolution", "find victim-congruent line", err)
 		}
 		dv := dvs[0]
 

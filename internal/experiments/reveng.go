@@ -26,12 +26,15 @@ type revLab struct {
 	priv []mem.VAddr
 }
 
-func newRevLab(cfg hier.Config, seed int64) *revLab {
+// newRevLab builds the lab for the named experiment; id contextualizes
+// any setup failure so an engine job-failure record names the experiment
+// and phase instead of an opaque panic.
+func newRevLab(id string, cfg hier.Config, seed int64) *revLab {
 	m := sim.MustNewMachine(cfg, 1<<30, seed)
 	as := m.NewSpace()
 	anchor, err := as.Alloc(mem.PageSize)
 	if err != nil {
-		panic(err)
+		failf(id, "revlab: alloc anchor page", err)
 	}
 	w := cfg.LLCWays
 	cong := core.MustCongruentLines(m, as, anchor, 2*w+1)
@@ -105,7 +108,7 @@ func runFig2(ctx *Context) (*Result, error) {
 	// lab (machine + eviction sets) on a position-derived seed and the w
 	// position loops shard across free workers.
 	ctx.Parallel(w, func(a int) {
-		lab := newRevLab(cfg, ctx.ShardSeed(a))
+		lab := newRevLab("fig2", cfg, ctx.ShardSeed(a))
 		lab.m.Spawn("experimenter", 0, lab.as, func(c *sim.Core) {
 			var samples, control []int64
 			for trial := 0; trial < trials; trial++ {
@@ -167,7 +170,7 @@ func runFig2(ctx *Context) (*Result, error) {
 func runFig3(ctx *Context) (*Result, error) {
 	res := &Result{}
 	cfg := ctx.Platforms[0]
-	lab := newRevLab(cfg, ctx.Seed+1)
+	lab := newRevLab("fig3", cfg, ctx.Seed+1)
 	w := cfg.LLCWays
 	matches, total := 0, 0
 	var firstOrder []int
@@ -257,7 +260,7 @@ func runFig4(ctx *Context) (*Result, error) {
 	trials := ctx.Trials(1000)
 
 	run := func(cfg hier.Config, seed int64) (fracDRAM float64, mean float64) {
-		lab := newRevLab(cfg, seed)
+		lab := newRevLab("fig4", cfg, seed)
 		w := cfg.LLCWays
 		var samples []int64
 		misses := 0
@@ -316,7 +319,7 @@ func runFig4(ctx *Context) (*Result, error) {
 func runFig5(ctx *Context) (*Result, error) {
 	res := &Result{}
 	cfg := ctx.Platforms[0]
-	lab := newRevLab(cfg, ctx.Seed+3)
+	lab := newRevLab("fig5", cfg, ctx.Seed+3)
 	trials := ctx.Trials(1000)
 	var l1s, llcs, mems []int64
 

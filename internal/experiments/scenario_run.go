@@ -407,7 +407,7 @@ func runFaultsSpec(ctx *Context, s *scenario.Spec) (*Result, error) {
 			m.SetTracer(ctx.Tracer(sc.Key, "raw"))
 			ep, err := channel.Setup(m, 2, 0)
 			if err != nil {
-				panic(err)
+				failf(s.ID, "faults/"+sc.Key+": raw channel setup", err)
 			}
 			horizon := base.Start + int64(rawBits)*base.Interval
 			inject(m, sc.Compile(), seedv, horizon,
@@ -423,7 +423,7 @@ func runFaultsSpec(ctx *Context, s *scenario.Spec) (*Result, error) {
 			m.SetTracer(ctx.Tracer(sc.Key, "hamming"))
 			ep, err := channel.Setup(m, 2, 0)
 			if err != nil {
-				panic(err)
+				failf(s.ID, "faults/"+sc.Key+": hamming channel setup", err)
 			}
 			horizon := base.Start + int64(len(enc))*base.Interval
 			inject(m, sc.Compile(), seedv, horizon,
@@ -446,7 +446,7 @@ func runFaultsSpec(ctx *Context, s *scenario.Spec) (*Result, error) {
 			m.SetTracer(ctx.Tracer(sc.Key, "arq"))
 			dx, err := channel.SetupDuplex(m)
 			if err != nil {
-				panic(err)
+				failf(s.ID, "faults/"+sc.Key+": duplex ARQ setup", err)
 			}
 			frames := (arqBits + channel.FramePayloadBits - 1) / channel.FramePayloadBits
 			horizon := tcfg.Channel.Start + int64(frames)*170*tcfg.Channel.Interval
@@ -454,7 +454,7 @@ func runFaultsSpec(ctx *Context, s *scenario.Spec) (*Result, error) {
 				fault.Target{PolluteAS: dx.NoiseAS, Pollute: dx.NoiseLines}, &fault.Log{})
 			rep, _, err := channel.RunARQOn(m, tcfg, dx, payload)
 			if err != nil {
-				panic(err)
+				failf(s.ID, "faults/"+sc.Key+": ARQ transfer", err)
 			}
 			outs[si].arq = rep
 		}

@@ -46,10 +46,10 @@ func runStealth(ctx *Context) (*Result, error) {
 		victimAS := m.NewSpace()
 		dt, err := attackerAS.Alloc(mem.PageSize)
 		if err != nil {
-			panic(err)
+			failf("stealth", name+": alloc probe line", err)
 		}
 		if err := victimAS.MapShared(attackerAS, dt, mem.PageSize); err != nil {
-			panic(err)
+			failf("stealth", name+": map shared probe line", err)
 		}
 		w := cfg.LLCWays
 		ls := core.MustCongruentLines(m, attackerAS, dt, w)

@@ -1,0 +1,26 @@
+package scenario
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+)
+
+// CanonicalBytes returns THE canonical byte encoding of a validated Spec:
+// the deterministic template marshalling (fields in schema order, absent
+// sections omitted, byte-stable across runs and Go versions). It is the
+// single marshal path shared by the CLI (`leakyway -template`) and the
+// daemon (`leakywayd`), so a cache key computed on either side of the
+// wire is computed over identical bytes — any format the template arrived
+// in (YAML or JSON, any field order, any whitespace) canonicalizes to the
+// same encoding after Parse.
+func CanonicalBytes(s *Spec) []byte { return Marshal(s) }
+
+// Fingerprint returns the scenario's content digest, "sha256:<hex>" over
+// CanonicalBytes. Two templates have equal fingerprints exactly when they
+// parse to the same Spec; the daemon folds this digest (with seed, jobs
+// and engine version) into its result-cache key, and `leakyway -template
+// validate` prints it so submissions can be correlated with cache entries.
+func Fingerprint(s *Spec) string {
+	sum := sha256.Sum256(CanonicalBytes(s))
+	return "sha256:" + hex.EncodeToString(sum[:])
+}

@@ -1,0 +1,91 @@
+package scenario
+
+import (
+	"strings"
+	"testing"
+)
+
+const canonYAML = `id: canon
+title: canonical fingerprint probe
+kind: pipeline
+pipeline:
+  message: "1011"
+`
+
+// Reordered fields, extra whitespace, and the JSON form must all
+// fingerprint identically: the digest is over the canonical marshalling,
+// not the submitted bytes.
+const canonYAMLReordered = `title: canonical fingerprint probe
+kind: pipeline
+id: canon
+pipeline:
+  message: "1011"
+`
+
+const canonJSON = `{
+  "kind": "pipeline",
+  "pipeline": {"message": "1011"},
+  "id": "canon",
+  "title": "canonical fingerprint probe"
+}`
+
+func TestFingerprintIgnoresSurfaceForm(t *testing.T) {
+	specs := map[string]*Spec{}
+	for name, src := range map[string]string{
+		"yaml":      canonYAML,
+		"reordered": canonYAMLReordered,
+	} {
+		s, err := Parse([]byte(src), name+".yaml")
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		specs[name] = s
+	}
+	js, err := Parse([]byte(canonJSON), "canon.json")
+	if err != nil {
+		t.Fatalf("json: %v", err)
+	}
+	specs["json"] = js
+
+	want := Fingerprint(specs["yaml"])
+	if !strings.HasPrefix(want, "sha256:") || len(want) != len("sha256:")+64 {
+		t.Fatalf("malformed fingerprint %q", want)
+	}
+	for name, s := range specs {
+		if got := Fingerprint(s); got != want {
+			t.Fatalf("%s fingerprints %s, yaml fingerprints %s — canonical form is not shared", name, got, want)
+		}
+	}
+}
+
+func TestFingerprintSeparatesSpecs(t *testing.T) {
+	a, err := Parse([]byte(canonYAML), "a.yaml")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Parse([]byte(strings.Replace(canonYAML, `"1011"`, `"1010"`, 1)), "b.yaml")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if Fingerprint(a) == Fingerprint(b) {
+		t.Fatal("different specs share a fingerprint")
+	}
+}
+
+// TestCanonicalBytesRoundTrip pins CanonicalBytes to the marshal/parse
+// fixed point: parsing the canonical bytes reproduces the same canonical
+// bytes, so the cache key of a resubmitted canonical template is stable.
+func TestCanonicalBytesRoundTrip(t *testing.T) {
+	s, err := Parse([]byte(canonYAML), "canon.yaml")
+	if err != nil {
+		t.Fatal(err)
+	}
+	canon := CanonicalBytes(s)
+	s2, err := Parse(canon, "canon2.yaml")
+	if err != nil {
+		t.Fatalf("canonical bytes do not re-parse: %v", err)
+	}
+	if string(CanonicalBytes(s2)) != string(canon) {
+		t.Fatal("CanonicalBytes is not a fixed point under Parse")
+	}
+}

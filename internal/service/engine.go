@@ -1,0 +1,64 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+
+	"leakyway/internal/experiments"
+	"leakyway/internal/hier"
+	"leakyway/internal/platform"
+	"leakyway/internal/scenario"
+	"leakyway/internal/trace"
+)
+
+// EngineRunner is the production Runner: it drives the experiment engine
+// exactly the way the CLI does, so a daemon-produced metrics artifact is
+// byte-identical to `leakyway -template <t> -seed <s> -json` output for
+// the same parameters.
+func EngineRunner(ctx context.Context, sub Submission, spec *scenario.Spec) (*Result, error) {
+	var report bytes.Buffer
+	ectx := experiments.NewContext(&report)
+	ectx.Ctx = ctx
+	ectx.Seed = sub.Seed
+	ectx.Quick = sub.Quick
+	ectx.Jobs = sub.Jobs
+	if sub.Platform != "both" {
+		p, ok := platform.ByName(sub.Platform)
+		if !ok {
+			// normalize() validated this; reaching here is a programming error.
+			return nil, fmt.Errorf("unknown platform %q", sub.Platform)
+		}
+		ectx.Platforms = []hier.Config{p}
+	}
+	if sub.Trace {
+		ectx.Trace = trace.NewCollector()
+	}
+
+	results, err := experiments.RunSpecs(ectx, []*scenario.Spec{spec})
+	if err != nil {
+		return nil, err
+	}
+
+	var metrics bytes.Buffer
+	if err := experiments.WriteMetricsJSON(&metrics, results); err != nil {
+		return nil, fmt.Errorf("metrics export: %w", err)
+	}
+	res := &Result{
+		Report:  append([]byte(nil), report.Bytes()...),
+		Metrics: metrics.Bytes(),
+	}
+	if sub.Trace {
+		var tb bytes.Buffer
+		if err := trace.WriteChromeTrace(&tb, ectx.Trace.Buffers()); err != nil {
+			return nil, fmt.Errorf("trace export: %w", err)
+		}
+		res.Trace = tb.Bytes()
+	}
+	if r := results[spec.ID]; r != nil {
+		ev := spec.Evaluate(r.Report, r.Metrics)
+		res.AssertFailed = ev.Failed
+		res.AssertTotal = len(ev.Assertions)
+	}
+	return res, nil
+}

@@ -1,0 +1,152 @@
+package service
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// The journal is the daemon's write-ahead log: every accepted job is
+// appended and fsynced BEFORE the client sees its 202, and every terminal
+// transition is appended when it happens. After a crash, replaying the
+// journal reconstructs the job table; accepted jobs without a terminal
+// record are re-enqueued, so an acknowledged submission is never lost.
+//
+// Format: JSONL, one entry per line. A torn final line (the write the
+// crash interrupted) is skipped on replay — it can only be an entry whose
+// effect was never acknowledged.
+
+// Journal ops.
+const (
+	opAccept = "accept" // job accepted: ID, Key, Sub
+	opDone   = "done"   // result stored under Key
+	opFail   = "fail"   // retries exhausted: Err
+	opCancel = "cancel" // canceled by the client
+	opClean  = "clean"  // clean shutdown marker (drain completed)
+)
+
+type journalEntry struct {
+	Op  string      `json:"op"`
+	ID  string      `json:"id,omitempty"`
+	Key string      `json:"key,omitempty"`
+	Err string      `json:"err,omitempty"`
+	Sub *Submission `json:"sub,omitempty"`
+}
+
+// Journal appends entries to a file, fsyncing each append. Methods are
+// not goroutine-safe; the server serializes access under its own lock.
+type Journal struct {
+	f    *os.File
+	path string
+}
+
+// replayJournal reads every parseable entry. Unparseable lines are
+// tolerated only at the tail (a torn final write); garbage earlier in the
+// file is corruption and fails the replay.
+func replayJournal(path string) ([]journalEntry, error) {
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("journal: %w", err)
+	}
+	defer f.Close()
+	var entries []journalEntry
+	torn := false
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<20), 16<<20)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var e journalEntry
+		if err := json.Unmarshal(line, &e); err != nil {
+			torn = true
+			continue
+		}
+		if torn {
+			return nil, fmt.Errorf("journal: corrupt entry before end of %s", path)
+		}
+		entries = append(entries, e)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("journal: %w", err)
+	}
+	return entries, nil
+}
+
+// rewriteJournal writes a compacted journal (temp file + fsync + rename)
+// and opens it for appending. Compaction happens at startup, after
+// replay: the new journal carries exactly the live state, so the file
+// cannot grow without bound across restarts.
+func rewriteJournal(path string, entries []journalEntry) (*Journal, error) {
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("journal: %w", err)
+	}
+	w := bufio.NewWriter(f)
+	for _, e := range entries {
+		b, err := json.Marshal(&e)
+		if err != nil {
+			f.Close()
+			return nil, fmt.Errorf("journal: %w", err)
+		}
+		w.Write(b)
+		w.WriteByte('\n')
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("journal: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("journal: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return nil, fmt.Errorf("journal: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return nil, fmt.Errorf("journal: %w", err)
+	}
+	syncDir(filepath.Dir(path))
+	af, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("journal: %w", err)
+	}
+	return &Journal{f: af, path: path}, nil
+}
+
+// Append writes one entry and fsyncs. The caller must not consider the
+// entry's effect durable (and must not ack a client) until Append
+// returns nil.
+func (j *Journal) Append(e journalEntry) error {
+	b, err := json.Marshal(&e)
+	if err != nil {
+		return fmt.Errorf("journal: %w", err)
+	}
+	b = append(b, '\n')
+	if _, err := j.f.Write(b); err != nil {
+		return fmt.Errorf("journal: %w", err)
+	}
+	if err := j.f.Sync(); err != nil {
+		return fmt.Errorf("journal: %w", err)
+	}
+	return nil
+}
+
+// Close closes the journal file.
+func (j *Journal) Close() error { return j.f.Close() }
+
+// syncDir fsyncs a directory so a rename within it is durable;
+// best-effort, as not every filesystem supports it.
+func syncDir(dir string) {
+	if d, err := os.Open(dir); err == nil {
+		d.Sync()
+		d.Close()
+	}
+}

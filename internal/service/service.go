@@ -1,0 +1,674 @@
+// Package service implements leakywayd: a crash-safe HTTP experiment
+// service over the deterministic engine. Submissions flow through a
+// bounded queue with backpressure into a fixed worker pool; results land
+// in a content-addressed store keyed on the canonical template and run
+// parameters, so an identical resubmission is served from cache without
+// re-simulating. A write-ahead journal makes accepted work durable: a
+// job acknowledged with 202 survives SIGKILL and completes after
+// restart, and SIGTERM drains the queue before exiting.
+package service
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"math/rand"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"leakyway/internal/experiments"
+	"leakyway/internal/scenario"
+)
+
+// Config parameterizes a Server. The zero value plus a DataDir is usable;
+// New fills in defaults.
+type Config struct {
+	// DataDir holds the result store and the journal.
+	DataDir string
+	// Workers is the worker-pool size (default 2).
+	Workers int
+	// QueueCap bounds the number of queued-not-yet-running executions;
+	// beyond it submissions get 429 + Retry-After (default 64).
+	QueueCap int
+	// JobTimeout is the per-attempt deadline (default 10m).
+	JobTimeout time.Duration
+	// MaxRetries is how many times a failed attempt is retried with
+	// jittered exponential backoff before the job fails (default 2;
+	// negative disables retries).
+	MaxRetries int
+	// RetryBase is the backoff base (default 100ms).
+	RetryBase time.Duration
+	// Stall delays each attempt before it touches the engine. Test and
+	// smoke hook: it widens the window in which a crash interrupts an
+	// accepted-but-incomplete job.
+	Stall time.Duration
+	// Runner executes submissions (default EngineRunner).
+	Runner Runner
+	// Logf receives operational log lines (default log.Printf).
+	Logf func(format string, args ...any)
+}
+
+// Stats are the monotonic counters served by /v1/statsz.
+type Stats struct {
+	Accepted  atomic.Int64 // submissions journalled and acknowledged
+	Completed atomic.Int64 // jobs reaching done
+	Failed    atomic.Int64 // jobs failing after retries
+	Canceled  atomic.Int64 // jobs canceled by clients
+	CacheHits atomic.Int64 // submissions answered from the store
+	Coalesced atomic.Int64 // submissions attached to an in-flight execution
+	Rejected  atomic.Int64 // submissions refused with 429
+	Retries   atomic.Int64 // attempt retries
+	Panics    atomic.Int64 // runner panics contained by a worker
+	Recovered atomic.Int64 // jobs re-enqueued from the journal at startup
+}
+
+// Server is the daemon's core. It owns the job table, the single-flight
+// index, the bounded queue, the store and the journal.
+type Server struct {
+	cfg     Config
+	store   *Store
+	journal *Journal
+
+	mu       sync.Mutex
+	jobs     map[string]*Job
+	inflight map[string]*execution // key → the execution new jobs attach to
+	queued   int                   // executions accepted but not yet picked up
+	seq      int64
+	draining bool
+
+	queue chan *execution
+	stats Stats
+
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+	wg         sync.WaitGroup
+}
+
+// New opens the data directory, verifies store integrity, replays the
+// journal — re-enqueueing every accepted job that has no terminal record
+// — and starts the worker pool.
+func New(cfg Config) (*Server, error) {
+	if cfg.DataDir == "" {
+		return nil, fmt.Errorf("service: DataDir is required")
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = 2
+	}
+	if cfg.QueueCap <= 0 {
+		cfg.QueueCap = 64
+	}
+	if cfg.JobTimeout <= 0 {
+		cfg.JobTimeout = 10 * time.Minute
+	}
+	if cfg.MaxRetries < 0 {
+		cfg.MaxRetries = 0
+	} else if cfg.MaxRetries == 0 {
+		cfg.MaxRetries = 2
+	}
+	if cfg.RetryBase <= 0 {
+		cfg.RetryBase = 100 * time.Millisecond
+	}
+	if cfg.Runner == nil {
+		cfg.Runner = EngineRunner
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = log.Printf
+	}
+
+	store, dropped, err := OpenStore(filepath.Join(cfg.DataDir, "store"))
+	if err != nil {
+		return nil, err
+	}
+	if dropped > 0 {
+		cfg.Logf("store: dropped %d corrupt or torn entr(ies) during integrity sweep", dropped)
+	}
+
+	jpath := filepath.Join(cfg.DataDir, "journal.jsonl")
+	entries, err := replayJournal(jpath)
+	if err != nil {
+		return nil, err
+	}
+
+	s := &Server{
+		cfg:      cfg,
+		store:    store,
+		jobs:     map[string]*Job{},
+		inflight: map[string]*execution{},
+	}
+	s.baseCtx, s.baseCancel = context.WithCancel(context.Background())
+
+	recovered := s.replay(entries)
+
+	// The channel must hold everything admission can let in: QueueCap
+	// fresh executions plus however many the journal recovered, so the
+	// recovery enqueue below can never block.
+	s.queue = make(chan *execution, cfg.QueueCap+len(recovered))
+
+	// Compact: the rewritten journal carries exactly the live state.
+	s.journal, err = rewriteJournal(jpath, s.liveEntries())
+	if err != nil {
+		return nil, err
+	}
+
+	for _, exec := range recovered {
+		s.queued++
+		s.queue <- exec
+		s.stats.Recovered.Add(1)
+		cfg.Logf("recovery: re-enqueued job %s (key %s)", exec.jobs[0].ID, exec.key)
+	}
+
+	for i := 0; i < cfg.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s, nil
+}
+
+// replay rebuilds the job table from journal entries and returns the
+// executions to re-enqueue: accepted jobs with no terminal record whose
+// result is not already in the store. A trailing "clean" entry means the
+// previous process drained fully, so nothing needs recovery.
+func (s *Server) replay(entries []journalEntry) []*execution {
+	byKey := map[string]*execution{}
+	var order []string
+	for _, e := range entries {
+		switch e.Op {
+		case opAccept:
+			if e.Sub == nil {
+				continue
+			}
+			j := &Job{ID: e.ID, Key: e.Key, Status: StatusQueued, sub: *e.Sub}
+			s.jobs[j.ID] = j
+			if n := seqOf(e.ID); n > s.seq {
+				s.seq = n
+			}
+			exec := byKey[e.Key]
+			if exec == nil {
+				exec = &execution{key: e.Key, sub: *e.Sub, done: make(chan struct{})}
+				byKey[e.Key] = exec
+				order = append(order, e.Key)
+			}
+			j.exec = exec
+			exec.jobs = append(exec.jobs, j)
+		case opDone:
+			if exec := byKey[e.Key]; exec != nil {
+				for _, j := range exec.jobs {
+					if !j.canceled {
+						j.Status = StatusDone
+					}
+				}
+			}
+		case opFail:
+			if exec := byKey[e.Key]; exec != nil {
+				for _, j := range exec.jobs {
+					if !j.canceled {
+						j.Status = StatusFailed
+						j.Error = e.Err
+					}
+				}
+			}
+		case opCancel:
+			if j := s.jobs[e.ID]; j != nil {
+				j.Status = StatusCanceled
+				j.canceled = true
+			}
+		case opClean:
+			// Clean shutdown marker: all prior state is settled.
+		}
+	}
+
+	var recovered []*execution
+	for _, key := range order {
+		exec := byKey[key]
+		var live []*Job
+		for _, j := range exec.jobs {
+			if !j.terminal() {
+				live = append(live, j)
+			}
+		}
+		if len(live) == 0 {
+			continue
+		}
+		// The result may have been stored in the crash window between
+		// store.Put and the journal's done entry; serve it, don't re-run.
+		if s.store.Has(key) {
+			for _, j := range live {
+				j.Status = StatusDone
+			}
+			continue
+		}
+		spec, err := scenario.Parse([]byte(exec.sub.Template), exec.sub.Filename)
+		if err != nil {
+			// An accepted job had a valid template; a parse failure here
+			// means the journal lied. Fail the jobs rather than crash.
+			for _, j := range live {
+				j.Status = StatusFailed
+				j.Error = fmt.Sprintf("recovery: template no longer parses: %v", err)
+			}
+			continue
+		}
+		exec.spec = spec
+		exec.jobs = live
+		recovered = append(recovered, exec)
+	}
+	return recovered
+}
+
+// liveEntries renders the current job table as a minimal journal: one
+// accept per job, plus its terminal record if it has one.
+func (s *Server) liveEntries() []journalEntry {
+	ids := make([]string, 0, len(s.jobs))
+	for id := range s.jobs {
+		ids = append(ids, id)
+	}
+	sortStrings(ids)
+	var entries []journalEntry
+	for _, id := range ids {
+		j := s.jobs[id]
+		sub := j.sub
+		entries = append(entries, journalEntry{Op: opAccept, ID: j.ID, Key: j.Key, Sub: &sub})
+		switch j.Status {
+		case StatusDone:
+			entries = append(entries, journalEntry{Op: opDone, ID: j.ID, Key: j.Key})
+		case StatusFailed:
+			entries = append(entries, journalEntry{Op: opFail, ID: j.ID, Key: j.Key, Err: j.Error})
+		case StatusCanceled:
+			entries = append(entries, journalEntry{Op: opCancel, ID: j.ID, Key: j.Key})
+		}
+	}
+	return entries
+}
+
+func sortStrings(ss []string) {
+	for i := 1; i < len(ss); i++ {
+		for k := i; k > 0 && ss[k] < ss[k-1]; k-- {
+			ss[k], ss[k-1] = ss[k-1], ss[k]
+		}
+	}
+}
+
+// seqOf parses the numeric part of a "j-000042" job ID.
+func seqOf(id string) int64 {
+	var n int64
+	if _, err := fmt.Sscanf(id, "j-%d", &n); err != nil {
+		return 0
+	}
+	return n
+}
+
+// submitError is an admission failure with an HTTP status.
+type submitError struct {
+	status     int
+	retryAfter int // seconds; nonzero only for 429
+	msg        string
+}
+
+func (e *submitError) Error() string { return e.msg }
+
+// Submit admits one submission. The returned job is either freshly
+// accepted (journalled before return), attached to an in-flight
+// execution for the same key, or answered from the result store
+// (Job.CacheHit). The error, if non-nil, is a *submitError.
+func (s *Server) Submit(sub Submission) (*Job, error) {
+	if err := sub.normalize(); err != nil {
+		return nil, &submitError{status: 400, msg: err.Error()}
+	}
+	spec, err := scenario.Parse([]byte(sub.Template), sub.Filename)
+	if err != nil {
+		return nil, &submitError{status: 400, msg: err.Error()}
+	}
+	key := jobKey(spec, sub)
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+
+	if s.draining {
+		return nil, &submitError{status: 503, msg: "draining: not accepting new jobs"}
+	}
+
+	// Cache hit: the result exists; no queueing, no simulation. The job
+	// record is journalled as already-done so a restart keeps serving it.
+	if s.store.Has(key) {
+		j := s.newJobLocked(key, sub)
+		j.Status = StatusDone
+		j.CacheHit = true
+		subCopy := j.sub
+		if err := s.journal.Append(journalEntry{Op: opAccept, ID: j.ID, Key: key, Sub: &subCopy}); err != nil {
+			delete(s.jobs, j.ID)
+			return nil, &submitError{status: 500, msg: fmt.Sprintf("journal: %v", err)}
+		}
+		if err := s.journal.Append(journalEntry{Op: opDone, ID: j.ID, Key: key}); err != nil {
+			return nil, &submitError{status: 500, msg: fmt.Sprintf("journal: %v", err)}
+		}
+		s.stats.Accepted.Add(1)
+		s.stats.CacheHits.Add(1)
+		s.stats.Completed.Add(1)
+		return j, nil
+	}
+
+	// Single-flight: someone is already computing this key; attach.
+	if exec := s.inflight[key]; exec != nil {
+		j := s.newJobLocked(key, sub)
+		j.exec = exec
+		j.Coalesced = true
+		subCopy := j.sub
+		if err := s.journal.Append(journalEntry{Op: opAccept, ID: j.ID, Key: key, Sub: &subCopy}); err != nil {
+			delete(s.jobs, j.ID)
+			return nil, &submitError{status: 500, msg: fmt.Sprintf("journal: %v", err)}
+		}
+		exec.jobs = append(exec.jobs, j)
+		s.stats.Accepted.Add(1)
+		s.stats.Coalesced.Add(1)
+		return j, nil
+	}
+
+	// Backpressure: the queue is full.
+	if s.queued >= s.cfg.QueueCap {
+		s.stats.Rejected.Add(1)
+		retry := 1 + s.queued/s.cfg.Workers
+		return nil, &submitError{
+			status:     429,
+			retryAfter: retry,
+			msg:        fmt.Sprintf("queue full (%d queued); retry later", s.queued),
+		}
+	}
+
+	j := s.newJobLocked(key, sub)
+	exec := &execution{key: key, sub: j.sub, spec: spec, done: make(chan struct{})}
+	j.exec = exec
+	exec.jobs = []*Job{j}
+
+	// Durability point: fsync the accept before acknowledging. If this
+	// process dies any time after here, restart re-runs the job.
+	subCopy := j.sub
+	if err := s.journal.Append(journalEntry{Op: opAccept, ID: j.ID, Key: key, Sub: &subCopy}); err != nil {
+		delete(s.jobs, j.ID)
+		return nil, &submitError{status: 500, msg: fmt.Sprintf("journal: %v", err)}
+	}
+	s.inflight[key] = exec
+	s.queued++
+	s.queue <- exec // cannot block: queued < QueueCap ≤ cap(queue)
+	s.stats.Accepted.Add(1)
+	return j, nil
+}
+
+// newJobLocked allocates the next job record. Caller holds s.mu.
+func (s *Server) newJobLocked(key string, sub Submission) *Job {
+	s.seq++
+	j := &Job{ID: fmt.Sprintf("j-%06d", s.seq), Key: key, Status: StatusQueued, sub: sub}
+	s.jobs[j.ID] = j
+	return j
+}
+
+// Job returns the record for id, or nil.
+func (s *Server) Job(id string) *Job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.jobs[id]
+}
+
+// snapshotJob copies a job's client-visible state under the lock.
+func (s *Server) snapshotJob(id string) (Job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j := s.jobs[id]
+	if j == nil {
+		return Job{}, false
+	}
+	return *j, true
+}
+
+// Cancel marks a job canceled. The shared execution is aborted only when
+// every job attached to it is canceled — other submitters still want the
+// result.
+func (s *Server) Cancel(id string) (bool, error) {
+	s.mu.Lock()
+	j := s.jobs[id]
+	if j == nil {
+		s.mu.Unlock()
+		return false, nil
+	}
+	if j.terminal() {
+		s.mu.Unlock()
+		return true, nil
+	}
+	j.Status = StatusCanceled
+	j.canceled = true
+	err := s.journal.Append(journalEntry{Op: opCancel, ID: j.ID, Key: j.Key})
+	var abort context.CancelFunc
+	if exec := j.exec; exec != nil {
+		all := true
+		for _, ej := range exec.jobs {
+			if !ej.canceled {
+				all = false
+				break
+			}
+		}
+		if all && exec.cancel != nil {
+			abort = exec.cancel
+		}
+	}
+	s.mu.Unlock()
+	s.stats.Canceled.Add(1)
+	if abort != nil {
+		abort()
+	}
+	return true, err
+}
+
+// Drain stops admissions, lets the workers finish every queued and
+// running execution, journals the clean-shutdown marker and closes the
+// journal. It is the SIGTERM path; after it returns the process can exit
+// 0 with no accepted work lost.
+func (s *Server) Drain() error {
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		s.wg.Wait()
+		return nil
+	}
+	s.draining = true
+	close(s.queue)
+	s.mu.Unlock()
+
+	s.wg.Wait()
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.journal.Append(journalEntry{Op: opClean}); err != nil {
+		s.journal.Close()
+		return err
+	}
+	return s.journal.Close()
+}
+
+// Kill abandons the server without draining: running attempts are
+// cancelled and nothing further is journalled, so a restart from the
+// same DataDir must recover the incomplete jobs. Test hook simulating a
+// hard crash as closely as a same-process API can.
+func (s *Server) Kill() {
+	s.mu.Lock()
+	if !s.draining {
+		s.draining = true
+		close(s.queue)
+	}
+	s.mu.Unlock()
+	s.baseCancel()
+	s.wg.Wait()
+	s.journal.Close()
+}
+
+// worker is the pool loop: one execution at a time off the queue.
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for exec := range s.queue {
+		s.mu.Lock()
+		s.queued--
+		s.mu.Unlock()
+		if s.baseCtx.Err() != nil {
+			return // Kill: abandon without journalling, recovery will rerun
+		}
+		s.runExecution(exec)
+	}
+}
+
+// runExecution drives one execution to a terminal state: serve from
+// store if a result appeared meanwhile, otherwise attempt with deadline
+// + panic containment + bounded jittered retries.
+func (s *Server) runExecution(exec *execution) {
+	defer close(exec.done)
+
+	// Recovery idempotence: the store may already hold the result (crash
+	// after Put, before the done entry).
+	if s.store.Has(exec.key) {
+		s.finish(exec, StatusDone, "")
+		return
+	}
+
+	for attempt := 0; ; attempt++ {
+		s.mu.Lock()
+		allCanceled := true
+		for _, j := range exec.jobs {
+			if !j.canceled {
+				allCanceled = false
+				j.Status = StatusRunning
+				j.Attempts = attempt + 1
+			}
+		}
+		var actx context.Context
+		var cancel context.CancelFunc
+		if !allCanceled {
+			actx, cancel = context.WithTimeout(s.baseCtx, s.cfg.JobTimeout)
+			exec.cancel = cancel
+		}
+		s.mu.Unlock()
+
+		if allCanceled {
+			s.finishJournal(exec, journalEntry{Op: opCancel, Key: exec.key})
+			s.finish(exec, StatusCanceled, "")
+			return
+		}
+
+		res, err := s.attempt(actx, exec)
+		cancel()
+		s.mu.Lock()
+		exec.cancel = nil
+		s.mu.Unlock()
+
+		if err == nil {
+			if perr := s.store.Put(exec.key, experiments.EngineVersion, res); perr != nil {
+				err = fmt.Errorf("store: %w", perr)
+			} else {
+				s.finishJournal(exec, journalEntry{Op: opDone, Key: exec.key})
+				s.finish(exec, StatusDone, "")
+				return
+			}
+		}
+
+		if s.baseCtx.Err() != nil {
+			// Kill mid-attempt: abandon silently; the journal still holds
+			// the accept, so restart recovers this job.
+			return
+		}
+		if attempt >= s.cfg.MaxRetries {
+			msg := err.Error()
+			s.finishJournal(exec, journalEntry{Op: opFail, Key: exec.key, Err: msg})
+			s.finish(exec, StatusFailed, msg)
+			return
+		}
+		s.stats.Retries.Add(1)
+		backoff := s.cfg.RetryBase << uint(attempt)
+		backoff += time.Duration(rand.Int63n(int64(backoff)/2 + 1))
+		s.cfg.Logf("execution %s attempt %d failed (%v); retrying in %v", exec.key, attempt+1, err, backoff)
+		select {
+		case <-time.After(backoff):
+		case <-s.baseCtx.Done():
+			return
+		}
+	}
+}
+
+// attempt runs the Runner once with panic containment. A panic in the
+// runner (or the engine under it) fails this attempt; it never takes the
+// worker — or the daemon — down.
+func (s *Server) attempt(ctx context.Context, exec *execution) (res *Result, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			s.stats.Panics.Add(1)
+			err = fmt.Errorf("runner panic: %v", r)
+		}
+	}()
+	if s.cfg.Stall > 0 {
+		select {
+		case <-time.After(s.cfg.Stall):
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	return s.cfg.Runner(ctx, exec.sub, exec.spec)
+}
+
+// finishJournal appends one terminal entry for the execution. A journal
+// write failure here is logged, not fatal: the store already holds the
+// result (for done), so the worst case after a crash is a redundant
+// re-check against the store.
+func (s *Server) finishJournal(exec *execution, e journalEntry) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.journal.Append(e); err != nil {
+		s.cfg.Logf("journal: %v", err)
+	}
+}
+
+// finish moves every non-canceled job on the execution to status and
+// clears the single-flight slot.
+func (s *Server) finish(exec *execution, status, errMsg string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, j := range exec.jobs {
+		if j.canceled {
+			continue
+		}
+		j.Status = status
+		j.Error = errMsg
+		switch status {
+		case StatusDone:
+			s.stats.Completed.Add(1)
+		case StatusFailed:
+			s.stats.Failed.Add(1)
+		}
+	}
+	delete(s.inflight, exec.key)
+}
+
+// Stats returns a point-in-time copy of the counters.
+func (s *Server) Stats() map[string]int64 {
+	return map[string]int64{
+		"accepted":   s.stats.Accepted.Load(),
+		"completed":  s.stats.Completed.Load(),
+		"failed":     s.stats.Failed.Load(),
+		"canceled":   s.stats.Canceled.Load(),
+		"cache_hits": s.stats.CacheHits.Load(),
+		"coalesced":  s.stats.Coalesced.Load(),
+		"rejected":   s.stats.Rejected.Load(),
+		"retries":    s.stats.Retries.Load(),
+		"panics":     s.stats.Panics.Load(),
+		"recovered":  s.stats.Recovered.Load(),
+	}
+}
+
+// Draining reports whether the server has stopped admitting work.
+func (s *Server) Draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+// queueDepth returns the current queued-execution count (tests).
+func (s *Server) queueDepth() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.queued
+}

@@ -1,0 +1,580 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"leakyway/internal/scenario"
+)
+
+// tmplFor renders a distinct minimal valid template per id.
+func tmplFor(id string) string {
+	return fmt.Sprintf(`id: %s
+title: Test scenario %s
+kind: statewalk
+statewalk:
+  message: "10"
+  calibrate_samples: 8
+  receiver_ready: 30000
+  phase_step: 5000
+`, id, id)
+}
+
+// stubRunner returns a deterministic Runner that sleeps delay (honoring
+// the context) and counts its calls.
+func stubRunner(delay time.Duration, calls *int64, mu *sync.Mutex) Runner {
+	return func(ctx context.Context, sub Submission, spec *scenario.Spec) (*Result, error) {
+		if mu != nil {
+			mu.Lock()
+			*calls++
+			mu.Unlock()
+		}
+		if delay > 0 {
+			select {
+			case <-time.After(delay):
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+		}
+		metrics := fmt.Sprintf("{\n  \"%s/stub_metric\": %d\n}\n", spec.ID, sub.Seed)
+		return &Result{
+			Report:  []byte("report for " + spec.ID + "\n"),
+			Metrics: []byte(metrics),
+		}, nil
+	}
+}
+
+// newTestServer builds a server over a temp dir with a fast stub runner;
+// mutate adjusts the config before New.
+func newTestServer(t *testing.T, mutate func(*Config)) *Server {
+	t.Helper()
+	cfg := Config{
+		DataDir:    t.TempDir(),
+		Workers:    2,
+		QueueCap:   16,
+		JobTimeout: 30 * time.Second,
+		MaxRetries: -1,
+		Runner:     stubRunner(0, nil, nil),
+		Logf:       t.Logf,
+	}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return s
+}
+
+// waitStatus polls until job id reaches status (or a terminal status).
+func waitStatus(t *testing.T, s *Server, id, status string) Job {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		snap, ok := s.snapshotJob(id)
+		if !ok {
+			t.Fatalf("job %s disappeared", id)
+		}
+		if snap.Status == status {
+			return snap
+		}
+		if snap.terminal() {
+			t.Fatalf("job %s reached %q (err %q), want %q", id, snap.Status, snap.Error, status)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("job %s never reached %q", id, status)
+	return Job{}
+}
+
+func TestSubmitRunsAndCachesResult(t *testing.T) {
+	var calls int64
+	var mu sync.Mutex
+	s := newTestServer(t, func(c *Config) { c.Runner = stubRunner(0, &calls, &mu) })
+	defer s.Drain()
+
+	sub := Submission{Template: tmplFor("demo"), Seed: 42}
+	j1, err := s.Submit(sub)
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	if j1.CacheHit {
+		t.Fatalf("first submission must not be a cache hit")
+	}
+	waitStatus(t, s, j1.ID, StatusDone)
+
+	m1, err := s.store.Artifact(j1.Key, "metrics")
+	if err != nil {
+		t.Fatalf("metrics artifact: %v", err)
+	}
+	if !strings.Contains(string(m1), "demo/stub_metric") {
+		t.Fatalf("metrics artifact missing stub metric: %q", m1)
+	}
+
+	// Identical resubmission: served from the store, runner not re-invoked.
+	j2, err := s.Submit(sub)
+	if err != nil {
+		t.Fatalf("resubmit: %v", err)
+	}
+	if !j2.CacheHit {
+		t.Fatalf("resubmission of an identical job must be a cache hit")
+	}
+	if j2.Key != j1.Key {
+		t.Fatalf("cache keys differ: %s vs %s", j1.Key, j2.Key)
+	}
+	mu.Lock()
+	got := calls
+	mu.Unlock()
+	if got != 1 {
+		t.Fatalf("runner ran %d times, want 1", got)
+	}
+
+	// A different surface form of the same template keys identically.
+	spec, err := scenario.Parse([]byte(sub.Template), "t.yaml")
+	if err != nil {
+		t.Fatal(err)
+	}
+	reform := Submission{Template: string(scenario.CanonicalBytes(spec)), Seed: 42}
+	j3, err := s.Submit(reform)
+	if err != nil {
+		t.Fatalf("reformatted submit: %v", err)
+	}
+	if !j3.CacheHit {
+		t.Fatalf("canonical-form resubmission must hit the cache (key %s vs %s)", j3.Key, j1.Key)
+	}
+}
+
+func TestSingleFlightCoalescesConcurrentDuplicates(t *testing.T) {
+	started := make(chan struct{}, 1)
+	release := make(chan struct{})
+	var calls int64
+	var mu sync.Mutex
+	s := newTestServer(t, func(c *Config) {
+		c.Runner = func(ctx context.Context, sub Submission, spec *scenario.Spec) (*Result, error) {
+			mu.Lock()
+			calls++
+			mu.Unlock()
+			started <- struct{}{}
+			select {
+			case <-release:
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+			return &Result{Report: []byte("r"), Metrics: []byte("{}\n")}, nil
+		}
+	})
+	defer s.Drain()
+
+	sub := Submission{Template: tmplFor("dup"), Seed: 7}
+	j1, err := s.Submit(sub)
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-started // the execution is running; a duplicate must attach, not queue
+
+	j2, err := s.Submit(sub)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !j2.Coalesced {
+		t.Fatalf("duplicate of an in-flight key must coalesce")
+	}
+	if j2.CacheHit {
+		t.Fatalf("in-flight duplicate is not a cache hit")
+	}
+	close(release)
+	waitStatus(t, s, j1.ID, StatusDone)
+	waitStatus(t, s, j2.ID, StatusDone)
+	mu.Lock()
+	got := calls
+	mu.Unlock()
+	if got != 1 {
+		t.Fatalf("coalesced duplicate ran the runner %d times, want 1", got)
+	}
+}
+
+func TestBackpressureRejectsWhenQueueFull(t *testing.T) {
+	started := make(chan struct{}, 8)
+	release := make(chan struct{})
+	s := newTestServer(t, func(c *Config) {
+		c.Workers = 1
+		c.QueueCap = 2
+		c.Runner = func(ctx context.Context, sub Submission, spec *scenario.Spec) (*Result, error) {
+			started <- struct{}{}
+			select {
+			case <-release:
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+			return &Result{Report: []byte("r"), Metrics: []byte("{}\n")}, nil
+		}
+	})
+	defer func() {
+		close(release)
+		s.Drain()
+	}()
+
+	if _, err := s.Submit(Submission{Template: tmplFor("bp0"), Seed: 1}); err != nil {
+		t.Fatal(err)
+	}
+	<-started // worker is busy; the queue is empty again
+
+	for i := 1; i <= 2; i++ {
+		if _, err := s.Submit(Submission{Template: tmplFor(fmt.Sprintf("bp%d", i)), Seed: 1}); err != nil {
+			t.Fatalf("fill %d: %v", i, err)
+		}
+	}
+	if got := s.queueDepth(); got != 2 {
+		t.Fatalf("queue depth %d, want 2", got)
+	}
+
+	_, err := s.Submit(Submission{Template: tmplFor("bp3"), Seed: 1})
+	se, ok := err.(*submitError)
+	if !ok {
+		t.Fatalf("overflow submit: got err %v, want *submitError", err)
+	}
+	if se.status != 429 {
+		t.Fatalf("overflow status %d, want 429", se.status)
+	}
+	if se.retryAfter <= 0 {
+		t.Fatalf("429 must carry a Retry-After hint, got %d", se.retryAfter)
+	}
+}
+
+func TestDrainFinishesAllAcceptedJobs(t *testing.T) {
+	var calls int64
+	var mu sync.Mutex
+	s := newTestServer(t, func(c *Config) {
+		c.Workers = 2
+		c.Runner = stubRunner(5*time.Millisecond, &calls, &mu)
+	})
+
+	var ids []string
+	for i := 0; i < 8; i++ {
+		j, err := s.Submit(Submission{Template: tmplFor(fmt.Sprintf("dr%d", i)), Seed: int64(i)})
+		if err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+		ids = append(ids, j.ID)
+	}
+	if err := s.Drain(); err != nil {
+		t.Fatalf("Drain: %v", err)
+	}
+	for _, id := range ids {
+		snap, ok := s.snapshotJob(id)
+		if !ok {
+			t.Fatalf("job %s lost across drain", id)
+		}
+		if snap.Status != StatusDone {
+			t.Fatalf("job %s is %q after drain (err %q), want done", id, snap.Status, snap.Error)
+		}
+		if !s.store.Has(snap.Key) {
+			t.Fatalf("job %s has no stored result after drain", id)
+		}
+	}
+	// Draining servers refuse new work.
+	if _, err := s.Submit(Submission{Template: tmplFor("late"), Seed: 1}); err == nil {
+		t.Fatalf("submit after drain must fail")
+	} else if se, ok := err.(*submitError); !ok || se.status != 503 {
+		t.Fatalf("submit after drain: got %v, want 503", err)
+	}
+}
+
+func TestKillRestartRecoversJournalledJobs(t *testing.T) {
+	dir := t.TempDir()
+	var calls int64
+	var mu sync.Mutex
+
+	// Server 1: stall long enough that the kill lands mid-attempt.
+	cfg := Config{
+		DataDir:    dir,
+		Workers:    1,
+		MaxRetries: -1,
+		Stall:      time.Hour,
+		Runner:     stubRunner(0, &calls, &mu),
+		Logf:       t.Logf,
+	}
+	s1, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub := Submission{Template: tmplFor("recov"), Seed: 99}
+	j1, err := s1.Submit(sub)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitStatus(t, s1, j1.ID, StatusRunning)
+	s1.Kill() // hard stop: no drain, no terminal journal entries
+
+	mu.Lock()
+	if calls != 0 {
+		mu.Unlock()
+		t.Fatalf("runner ran before the kill; stall did not hold")
+	}
+	mu.Unlock()
+
+	// Server 2: same data dir, no stall. The journalled accept must be
+	// recovered, re-run and completed under the SAME job ID.
+	cfg.Stall = 0
+	s2, err := New(cfg)
+	if err != nil {
+		t.Fatalf("restart: %v", err)
+	}
+	if got := s2.stats.Recovered.Load(); got != 1 {
+		t.Fatalf("recovered %d jobs, want 1", got)
+	}
+	snap := waitStatus(t, s2, j1.ID, StatusDone)
+	recovered, err := s2.store.Artifact(snap.Key, "metrics")
+	if err != nil {
+		t.Fatalf("recovered metrics: %v", err)
+	}
+	if err := s2.Drain(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reference: the same submission on a fresh server must produce
+	// byte-identical metrics.
+	ref := newTestServer(t, func(c *Config) { c.Runner = stubRunner(0, nil, nil) })
+	jr, err := ref.Submit(sub)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitStatus(t, ref, jr.ID, StatusDone)
+	fresh, err := ref.store.Artifact(jr.Key, "metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref.Drain()
+	if !bytes.Equal(recovered, fresh) {
+		t.Fatalf("recovered metrics differ from a fresh run:\n%q\nvs\n%q", recovered, fresh)
+	}
+	if jr.Key != snap.Key {
+		t.Fatalf("cache key drifted across restart: %s vs %s", jr.Key, snap.Key)
+	}
+}
+
+func TestRestartAfterCleanDrainRecoversNothing(t *testing.T) {
+	dir := t.TempDir()
+	cfg := Config{DataDir: dir, MaxRetries: -1, Runner: stubRunner(0, nil, nil), Logf: t.Logf}
+	s1, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j, err := s1.Submit(Submission{Template: tmplFor("clean"), Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitStatus(t, s1, j.ID, StatusDone)
+	if err := s1.Drain(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := New(cfg)
+	if err != nil {
+		t.Fatalf("restart after clean drain: %v", err)
+	}
+	defer s2.Drain()
+	if got := s2.stats.Recovered.Load(); got != 0 {
+		t.Fatalf("clean shutdown recovered %d jobs, want 0", got)
+	}
+	// The completed job is still visible and its artifacts still served.
+	snap, ok := s2.snapshotJob(j.ID)
+	if !ok || snap.Status != StatusDone {
+		t.Fatalf("done job not preserved across clean restart: %+v ok=%v", snap, ok)
+	}
+	if _, err := s2.store.Artifact(snap.Key, "metrics"); err != nil {
+		t.Fatalf("artifact lost across clean restart: %v", err)
+	}
+}
+
+func TestCancelStopsRunningJob(t *testing.T) {
+	started := make(chan struct{}, 1)
+	s := newTestServer(t, func(c *Config) {
+		c.Workers = 1
+		c.Runner = func(ctx context.Context, sub Submission, spec *scenario.Spec) (*Result, error) {
+			started <- struct{}{}
+			<-ctx.Done()
+			return nil, ctx.Err()
+		}
+	})
+	defer s.Drain()
+
+	j, err := s.Submit(Submission{Template: tmplFor("cx"), Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	found, err := s.Cancel(j.ID)
+	if !found || err != nil {
+		t.Fatalf("Cancel: found=%v err=%v", found, err)
+	}
+	snap, _ := s.snapshotJob(j.ID)
+	if snap.Status != StatusCanceled {
+		t.Fatalf("status %q after cancel, want canceled", snap.Status)
+	}
+	// The worker must come free (the runner returned on ctx.Done).
+	j2, err := s.Submit(Submission{Template: tmplFor("cx2"), Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	if _, err := s.Cancel(j2.ID); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// corruptStoredArtifact flips a byte in the stored metrics artifact.
+func corruptStoredArtifact(t *testing.T, dataDir, key string) {
+	t.Helper()
+	path := filepath.Join(dataDir, "store", hexOf(key), "metrics.json")
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("corrupt: %v", err)
+	}
+	data[0] ^= 0xff
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatalf("corrupt: %v", err)
+	}
+}
+
+func TestRetriesThenFails(t *testing.T) {
+	var calls int64
+	var mu sync.Mutex
+	s := newTestServer(t, func(c *Config) {
+		c.MaxRetries = 2
+		c.RetryBase = time.Millisecond
+		c.Runner = func(ctx context.Context, sub Submission, spec *scenario.Spec) (*Result, error) {
+			mu.Lock()
+			calls++
+			mu.Unlock()
+			return nil, fmt.Errorf("flaky failure")
+		}
+	})
+	defer s.Drain()
+
+	j, err := s.Submit(Submission{Template: tmplFor("fl"), Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		snap, _ := s.snapshotJob(j.ID)
+		if snap.terminal() {
+			if snap.Status != StatusFailed {
+				t.Fatalf("status %q, want failed", snap.Status)
+			}
+			if !strings.Contains(snap.Error, "flaky failure") {
+				t.Fatalf("error %q lost the cause", snap.Error)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job never terminal")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	mu.Lock()
+	got := calls
+	mu.Unlock()
+	if got != 3 {
+		t.Fatalf("runner ran %d times, want 3 (1 + 2 retries)", got)
+	}
+	if s.stats.Retries.Load() != 2 {
+		t.Fatalf("retries counter %d, want 2", s.stats.Retries.Load())
+	}
+}
+
+func TestRunnerPanicIsContainedAndFailsJob(t *testing.T) {
+	s := newTestServer(t, func(c *Config) {
+		c.RetryBase = time.Millisecond
+		c.Runner = func(ctx context.Context, sub Submission, spec *scenario.Spec) (*Result, error) {
+			panic("runner exploded")
+		}
+	})
+	defer s.Drain()
+
+	j, err := s.Submit(Submission{Template: tmplFor("pn"), Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		snap, _ := s.snapshotJob(j.ID)
+		if snap.terminal() {
+			if snap.Status != StatusFailed {
+				t.Fatalf("status %q, want failed", snap.Status)
+			}
+			if !strings.Contains(snap.Error, "runner exploded") {
+				t.Fatalf("error %q lost the panic value", snap.Error)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job never terminal")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if s.stats.Panics.Load() == 0 {
+		t.Fatalf("panic counter not incremented")
+	}
+	// The daemon is still alive and serving.
+	j2, err := s.Submit(Submission{Template: tmplFor("pn"), Seed: 2})
+	if err != nil {
+		t.Fatalf("submit after panic: %v", err)
+	}
+	_ = j2
+}
+
+func TestStoreSurvivesCorruptionSweep(t *testing.T) {
+	dir := t.TempDir()
+	cfg := Config{DataDir: dir, MaxRetries: -1, Runner: stubRunner(0, nil, nil), Logf: t.Logf}
+	s1, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j, err := s1.Submit(Submission{Template: tmplFor("cor"), Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := waitStatus(t, s1, j.ID, StatusDone)
+	if err := s1.Drain(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Corrupt the stored metrics; the restart sweep must drop the entry,
+	// and a resubmission must re-run instead of serving the bad bytes.
+	corruptStoredArtifact(t, dir, snap.Key)
+
+	var calls int64
+	var mu sync.Mutex
+	cfg.Runner = stubRunner(0, &calls, &mu)
+	s2, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Drain()
+	if s2.store.Has(snap.Key) {
+		t.Fatalf("corrupt entry survived the integrity sweep")
+	}
+	j2, err := s2.Submit(Submission{Template: tmplFor("cor"), Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j2.CacheHit {
+		t.Fatalf("corrupt entry served as a cache hit")
+	}
+	waitStatus(t, s2, j2.ID, StatusDone)
+	mu.Lock()
+	defer mu.Unlock()
+	if calls != 1 {
+		t.Fatalf("runner ran %d times after corruption, want 1", calls)
+	}
+}

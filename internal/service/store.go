@@ -1,0 +1,209 @@
+package service
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// Store is the content-addressed result store. Each entry is a directory
+// named by the cache key's hex digest holding the artifacts plus a
+// meta.json that records their individual content hashes — so integrity
+// is checkable by re-hashing, which startup does after a crash. Writes go
+// through a temp directory and a rename, so a torn write can never
+// produce an entry that passes verification.
+type Store struct {
+	dir string
+}
+
+// storeMeta is the per-entry manifest.
+type storeMeta struct {
+	// Key is the full cache key ("sha256:<hex>").
+	Key string `json:"key"`
+	// Engine records the engine version the entry was simulated with.
+	Engine string `json:"engine"`
+	// Artifacts maps artifact name → file name and sha256 of its bytes.
+	Artifacts map[string]artifactMeta `json:"artifacts"`
+	// Assertion summary of the template evaluation.
+	AssertFailed int `json:"assert_failed"`
+	AssertTotal  int `json:"assert_total"`
+}
+
+type artifactMeta struct {
+	File   string `json:"file"`
+	SHA256 string `json:"sha256"`
+}
+
+// artifactFiles maps API artifact names to entry file names and content
+// types.
+var artifactFiles = map[string]struct{ file, contentType string }{
+	"metrics": {"metrics.json", "application/json"},
+	"report":  {"report.txt", "text/plain; charset=utf-8"},
+	"trace":   {"trace.json", "application/json"},
+}
+
+// OpenStore opens (creating if needed) the store at dir and sweeps it for
+// integrity: every entry's artifacts are re-hashed against its manifest,
+// and entries that fail — torn writes, bit rot, manual tampering — are
+// removed. It returns the number of entries dropped.
+func OpenStore(dir string) (*Store, int, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, 0, fmt.Errorf("store: %w", err)
+	}
+	s := &Store{dir: dir}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, 0, fmt.Errorf("store: %w", err)
+	}
+	dropped := 0
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		path := filepath.Join(dir, e.Name())
+		// Leftover temp dirs from a crash mid-Put are never valid entries.
+		if strings.HasPrefix(e.Name(), "tmp-") {
+			os.RemoveAll(path)
+			dropped++
+			continue
+		}
+		if err := verifyEntry(path); err != nil {
+			os.RemoveAll(path)
+			dropped++
+		}
+	}
+	return s, dropped, nil
+}
+
+// verifyEntry re-hashes every artifact in the manifest.
+func verifyEntry(path string) error {
+	data, err := os.ReadFile(filepath.Join(path, "meta.json"))
+	if err != nil {
+		return fmt.Errorf("meta: %w", err)
+	}
+	var meta storeMeta
+	if err := json.Unmarshal(data, &meta); err != nil {
+		return fmt.Errorf("meta: %w", err)
+	}
+	if hexOf(meta.Key) != filepath.Base(path) {
+		return fmt.Errorf("entry %s claims key %s", filepath.Base(path), meta.Key)
+	}
+	for name, am := range meta.Artifacts {
+		b, err := os.ReadFile(filepath.Join(path, am.File))
+		if err != nil {
+			return fmt.Errorf("artifact %s: %w", name, err)
+		}
+		sum := sha256.Sum256(b)
+		if hex.EncodeToString(sum[:]) != am.SHA256 {
+			return fmt.Errorf("artifact %s: digest mismatch", name)
+		}
+	}
+	return nil
+}
+
+// hexOf strips the algorithm prefix from a cache key.
+func hexOf(key string) string { return strings.TrimPrefix(key, "sha256:") }
+
+func (s *Store) entryDir(key string) string { return filepath.Join(s.dir, hexOf(key)) }
+
+// Has reports whether an intact entry exists for key. It trusts the
+// startup sweep and the atomic-rename Put; it does not re-hash per call.
+func (s *Store) Has(key string) bool {
+	_, err := os.Stat(filepath.Join(s.entryDir(key), "meta.json"))
+	return err == nil
+}
+
+// Meta reads an entry's manifest.
+func (s *Store) Meta(key string) (*storeMeta, error) {
+	data, err := os.ReadFile(filepath.Join(s.entryDir(key), "meta.json"))
+	if err != nil {
+		return nil, err
+	}
+	var meta storeMeta
+	if err := json.Unmarshal(data, &meta); err != nil {
+		return nil, err
+	}
+	return &meta, nil
+}
+
+// Artifact reads one artifact's bytes by API name ("metrics", "report",
+// "trace").
+func (s *Store) Artifact(key, name string) ([]byte, error) {
+	af, ok := artifactFiles[name]
+	if !ok {
+		return nil, fmt.Errorf("store: unknown artifact %q", name)
+	}
+	return os.ReadFile(filepath.Join(s.entryDir(key), af.file))
+}
+
+// Put writes a completed result as the entry for key: artifacts and
+// manifest land in a temp directory, every file is fsynced, and a final
+// rename publishes the entry atomically. A concurrent Put of the same key
+// (or an existing entry) wins harmlessly — results are deterministic, so
+// both sides wrote the same bytes.
+func (s *Store) Put(key, engine string, res *Result) error {
+	artifacts := map[string][]byte{
+		"metrics": res.Metrics,
+		"report":  res.Report,
+	}
+	if res.Trace != nil {
+		artifacts["trace"] = res.Trace
+	}
+	meta := storeMeta{
+		Key:          key,
+		Engine:       engine,
+		Artifacts:    map[string]artifactMeta{},
+		AssertFailed: res.AssertFailed,
+		AssertTotal:  res.AssertTotal,
+	}
+	tmp, err := os.MkdirTemp(s.dir, "tmp-")
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	defer os.RemoveAll(tmp)
+	for name, data := range artifacts {
+		af := artifactFiles[name]
+		if err := writeSynced(filepath.Join(tmp, af.file), data); err != nil {
+			return fmt.Errorf("store: %s: %w", name, err)
+		}
+		sum := sha256.Sum256(data)
+		meta.Artifacts[name] = artifactMeta{File: af.file, SHA256: hex.EncodeToString(sum[:])}
+	}
+	mb, err := json.MarshalIndent(&meta, "", "  ")
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := writeSynced(filepath.Join(tmp, "meta.json"), mb); err != nil {
+		return fmt.Errorf("store: meta: %w", err)
+	}
+	dst := s.entryDir(key)
+	if err := os.Rename(tmp, dst); err != nil {
+		if s.Has(key) {
+			return nil // lost a benign race to an identical entry
+		}
+		return fmt.Errorf("store: publish: %w", err)
+	}
+	return nil
+}
+
+// writeSynced writes data and fsyncs before closing, so a rename cannot
+// publish a file the kernel has not persisted.
+func writeSynced(path string, data []byte) error {
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -449,8 +449,20 @@ func ParseScenario(data []byte, filename string) (*Scenario, error) {
 }
 
 // MarshalScenario renders a Scenario in the canonical template form —
-// byte-stable, and Parse(Marshal(s)) reproduces s exactly.
-func MarshalScenario(s *Scenario) []byte { return scenario.Marshal(s) }
+// byte-stable, and Parse(Marshal(s)) reproduces s exactly. It is an alias
+// of ScenarioCanonicalBytes; both the CLI and leakywayd marshal through
+// this one path, so cache keys computed anywhere agree.
+func MarshalScenario(s *Scenario) []byte { return scenario.CanonicalBytes(s) }
+
+// ScenarioCanonicalBytes returns the canonical byte encoding of a
+// validated Scenario — the bytes every cache-key digest is computed over.
+func ScenarioCanonicalBytes(s *Scenario) []byte { return scenario.CanonicalBytes(s) }
+
+// ScenarioFingerprint returns the scenario's content digest
+// ("sha256:<hex>" over the canonical bytes): equal exactly when two
+// templates parse to the same Scenario. leakywayd folds it, with seed,
+// jobs and engine version, into its result-cache key.
+func ScenarioFingerprint(s *Scenario) string { return scenario.Fingerprint(s) }
 
 // RunScenarios executes scenarios through the standard experiment engine:
 // same worker pool, seed derivation and report flush order, so a template
