@@ -8,6 +8,8 @@ import (
 	"testing"
 
 	"leakyway/internal/mem"
+	"leakyway/internal/telemetry"
+	"leakyway/internal/trace"
 )
 
 // benchExperiment runs one registered experiment per iteration and reports
@@ -222,3 +224,36 @@ func BenchmarkTraceOverheadOff(b *testing.B) { benchTraceOverhead(b, false) }
 // BenchmarkTraceOverheadOn records hier+sim+channel events for the same
 // workload, measuring the full cost of the event bus when enabled.
 func BenchmarkTraceOverheadOn(b *testing.B) { benchTraceOverhead(b, true) }
+
+// benchTelemetryOverhead runs one quick fig8 regeneration per iteration
+// with the live-telemetry path either fully off (nil Progress — every
+// checkpoint must be a nil-check and nothing else) or fully on as the
+// daemon wires it: a Progress tracker receiving phase and shard ticks
+// plus a count-only trace collector feeding its event counters.
+func benchTelemetryOverhead(b *testing.B, on bool) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		ctx := NewExperimentContext(io.Discard)
+		ctx.Quick = true
+		if on {
+			counts := &trace.EventCounts{}
+			ctx.Progress = telemetry.NewProgress()
+			ctx.Progress.SetEventSource(counts.Counts)
+			ctx.Trace = trace.NewCountingCollector(counts)
+			ctx.TraceMask = trace.PkgAll
+		}
+		if _, err := RunExperiment(ctx, "fig8"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTelemetryOverheadOff is the acceptance baseline pinned in
+// BENCH.json: with no Progress attached the checkpoint calls must not
+// measurably slow a run (compare against ...On).
+func BenchmarkTelemetryOverheadOff(b *testing.B) { benchTelemetryOverhead(b, false) }
+
+// BenchmarkTelemetryOverheadOn measures the full daemon-style telemetry
+// wiring — progress checkpoints plus the aggregating event-count sink —
+// for the same workload.
+func BenchmarkTelemetryOverheadOn(b *testing.B) { benchTelemetryOverhead(b, true) }

@@ -8,6 +8,10 @@
 //  3. SIGKILL loses nothing — a restart from the same data directory
 //     recovers the journalled job and produces byte-identical metrics.
 //
+// It also exercises the observability surface: /metricsz must scrape as
+// Prometheus text and the per-job SSE stream must deliver at least one
+// progress frame before the done frame.
+//
 // Run via `make daemon-smoke`, which builds the binary and passes -bin.
 package main
 
@@ -62,7 +66,9 @@ type daemon struct {
 	base string // http://host:port
 }
 
-var listenRe = regexp.MustCompile(`listening on (\S+)`)
+// The daemon logs via slog's text handler; the listen line carries the
+// bound address as an addr=... attribute.
+var listenRe = regexp.MustCompile(`msg=listening addr=(\S+)`)
 
 // startDaemon launches the binary on an ephemeral port and scrapes the
 // bound address from its log output.
@@ -184,6 +190,63 @@ func (d *daemon) artifact(id, name string) []byte {
 	return data
 }
 
+// watchEvents subscribes to a job's SSE stream and returns the number of
+// progress frames delivered before the done frame.
+func (d *daemon) watchEvents(id string) int {
+	resp, err := http.Get(d.base + "/v1/jobs/" + id + "/events")
+	if err != nil {
+		fatalf("events %s: %v", id, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		fatalf("events %s: status %d", id, resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		fatalf("events %s: content type %q", id, ct)
+	}
+	progress := 0
+	var event string
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		line := sc.Text()
+		if v, ok := strings.CutPrefix(line, "event: "); ok {
+			event = v
+			continue
+		}
+		if !strings.HasPrefix(line, "data: ") {
+			continue
+		}
+		switch event {
+		case "progress":
+			progress++
+		case "done":
+			return progress
+		}
+	}
+	fatalf("events %s: stream ended without a done frame: %v", id, sc.Err())
+	return 0
+}
+
+// scrapeMetrics asserts /metricsz serves valid-looking Prometheus text
+// exposition and contains the named sample family.
+func (d *daemon) scrapeMetrics(wantFamily string) {
+	resp, err := http.Get(d.base + "/metricsz")
+	if err != nil {
+		fatalf("metricsz: %v", err)
+	}
+	defer resp.Body.Close()
+	data, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != 200 {
+		fatalf("metricsz: status %d: %s", resp.StatusCode, data)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		fatalf("metricsz: content type %q, want Prometheus text 0.0.4", ct)
+	}
+	if !strings.Contains(string(data), wantFamily) {
+		fatalf("metricsz: no %s family in scrape:\n%s", wantFamily, data)
+	}
+}
+
 // phaseDrain proves cache-hit resubmission and SIGTERM drain, returning
 // the metrics bytes of the seed-42 run for cross-phase comparison.
 func phaseDrain(tmpl string) []byte {
@@ -196,17 +259,23 @@ func phaseDrain(tmpl string) []byte {
 	d := startDaemon(filepath.Join(dir, "data"))
 	defer d.cmd.Process.Kill()
 
-	// First submission simulates.
+	// First submission simulates. Ride its SSE stream while it runs: the
+	// stream must deliver at least one progress frame before done.
 	j1, cache := d.submit(tmpl, 42, http.StatusAccepted)
 	if cache != "miss" {
 		fatalf("first submission X-Cache %q, want miss", cache)
 	}
+	if n := d.watchEvents(j1.ID); n < 1 {
+		fatalf("SSE stream for %s delivered %d progress frames before done, want >= 1", j1.ID, n)
+	}
+	fmt.Println("daemon-smoke: SSE stream delivered progress before completion")
 	d.awaitDone(j1.ID)
 	metrics := d.artifact(j1.ID, "metrics")
 	if !json.Valid(metrics) {
 		fatalf("metrics artifact is not valid JSON")
 	}
-	fmt.Println("daemon-smoke: first run completed, metrics fetched")
+	d.scrapeMetrics("leakywayd_jobs_total")
+	fmt.Println("daemon-smoke: first run completed, metrics fetched, /metricsz scraped")
 
 	// Identical resubmission must be served from the store.
 	j2, cache := d.submit(tmpl, 42, http.StatusOK)

@@ -64,6 +64,7 @@ func main() { os.Exit(mainRun()) }
 // failure paths (os.Exit would skip them).
 func mainRun() int {
 	var opt options
+	showVersion := flag.Bool("version", false, "print the engine version and exit")
 	flag.StringVar(&opt.platform, "platform", "both", "platform: skylake, kabylake or both")
 	flag.Int64Var(&opt.seed, "seed", 42, "master seed for all stochastic elements")
 	flag.BoolVar(&opt.quick, "quick", false, "run with reduced trial counts")
@@ -77,6 +78,11 @@ func mainRun() int {
 	flag.StringVar(&opt.pprofAddr, "pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	flag.Usage = usage
 	flag.Parse()
+
+	if *showVersion {
+		fmt.Println("leakyway", leakyway.EngineVersion)
+		return 0
+	}
 
 	args := flag.Args()
 	if len(args) == 0 {

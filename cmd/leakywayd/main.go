@@ -3,6 +3,12 @@
 // artifacts. SIGTERM drains — in-flight and queued jobs finish, then the
 // process exits 0; an unclean kill is recovered from the journal on the
 // next start from the same -data directory.
+//
+// Logs are structured (log/slog text format) on stderr; -log-level
+// selects the floor (debug, info, warn, error). GET /metricsz exposes
+// live daemon metrics in Prometheus text format, and
+// GET /v1/jobs/{id}/events streams per-job progress as server-sent
+// events.
 package main
 
 import (
@@ -10,14 +16,16 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"leakyway"
 	"leakyway/internal/service"
 )
 
@@ -26,6 +34,21 @@ func main() {
 		fmt.Fprintln(os.Stderr, "leakywayd:", err)
 		os.Exit(1)
 	}
+}
+
+// parseLevel maps the -log-level flag to a slog level.
+func parseLevel(s string) (slog.Level, error) {
+	switch strings.ToLower(s) {
+	case "debug":
+		return slog.LevelDebug, nil
+	case "info":
+		return slog.LevelInfo, nil
+	case "warn", "warning":
+		return slog.LevelWarn, nil
+	case "error":
+		return slog.LevelError, nil
+	}
+	return 0, fmt.Errorf("unknown -log-level %q (want debug, info, warn or error)", s)
 }
 
 func run() error {
@@ -37,11 +60,22 @@ func run() error {
 		jobTimeout = flag.Duration("job-timeout", 10*time.Minute, "per-attempt deadline")
 		retries    = flag.Int("retries", 2, "retry budget per job after a failed attempt")
 		stall      = flag.Duration("stall", 0, "delay each attempt before simulating (crash-recovery testing)")
+		logLevel   = flag.String("log-level", "info", "minimum log level: debug, info, warn or error")
+		version    = flag.Bool("version", false, "print the engine version and exit")
 	)
 	flag.Parse()
+	if *version {
+		fmt.Println("leakywayd", leakyway.EngineVersion)
+		return nil
+	}
 	if *dataDir == "" {
 		return fmt.Errorf("-data is required")
 	}
+	lvl, err := parseLevel(*logLevel)
+	if err != nil {
+		return err
+	}
+	logger := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: lvl}))
 
 	maxRetries := *retries
 	if maxRetries == 0 {
@@ -54,6 +88,7 @@ func run() error {
 		JobTimeout: *jobTimeout,
 		MaxRetries: maxRetries,
 		Stall:      *stall,
+		Logger:     logger,
 	})
 	if err != nil {
 		return err
@@ -63,8 +98,9 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	// Printed before serving so drivers using :0 can scrape the port.
-	log.Printf("leakywayd: listening on %s", ln.Addr())
+	// Logged before serving so drivers using :0 can scrape the port from
+	// the addr=... attribute.
+	logger.Info("listening", "addr", ln.Addr(), "engine", leakyway.EngineVersion)
 
 	hs := &http.Server{Handler: srv.Handler()}
 	serveErr := make(chan error, 1)
@@ -77,7 +113,7 @@ func run() error {
 	case err := <-serveErr:
 		return err
 	case got := <-sig:
-		log.Printf("leakywayd: %v: draining (second signal forces exit)", got)
+		logger.Info("draining (second signal forces exit)", "signal", got.String())
 	}
 
 	// A second signal during the drain aborts immediately.
@@ -103,6 +139,6 @@ func run() error {
 	if err := hs.Shutdown(ctx); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		return err
 	}
-	log.Printf("leakywayd: drained cleanly")
+	logger.Info("drained cleanly")
 	return nil
 }

@@ -44,6 +44,7 @@ type taskState struct {
 func runExperiments(ctx *Context, list []Experiment) (map[string]*Result, error) {
 	slots := make([]taskState, len(list))
 	jobs := ctx.workers()
+	ctx.Progress.SetPhasesTotal(len(list))
 	// With one worker there is no spare capacity to recruit, so children
 	// get no token bucket and Parallel degrades to a plain loop.
 	var sem chan struct{}
@@ -63,8 +64,10 @@ func runExperiments(ctx *Context, list []Experiment) (map[string]*Result, error)
 		sub := ctx.child(SplitSeed(ctx.Seed, e.ID), &slots[i].buf, e.ID)
 		sub.sem = sem
 		sub.guarded = true
+		ctx.Progress.StartPhase(e.ID)
 		header(sub, e)
 		slots[i].res, slots[i].err = runGuarded(sub, e)
+		ctx.Progress.EndPhase()
 	}
 
 	if jobs <= 1 {
@@ -162,6 +165,10 @@ func (ctx *Context) workers() int {
 //     hand-built Context, Parallel simply returns early and the caller
 //     must check ctx.Ctx itself.
 func (ctx *Context) Parallel(n int, fn func(i int)) {
+	// Progress checkpoint: shards scheduled and (below) completed. Both
+	// are atomic ticks on the nil-safe Progress — they observe the run,
+	// never steer it, so output stays byte-identical with telemetry on.
+	ctx.Progress.AddShards(n)
 	if n <= 1 || ctx.sem == nil {
 		for i := 0; i < n; i++ {
 			if err := ctx.canceled(); err != nil {
@@ -169,6 +176,7 @@ func (ctx *Context) Parallel(n int, fn func(i int)) {
 				return
 			}
 			fn(i)
+			ctx.Progress.ShardDone()
 		}
 		return
 	}
@@ -200,6 +208,7 @@ func (ctx *Context) Parallel(n int, fn func(i int)) {
 				return
 			}
 			fn(i)
+			ctx.Progress.ShardDone()
 		}
 	}
 	var wg sync.WaitGroup

@@ -16,6 +16,7 @@ import (
 
 	"leakyway/internal/hier"
 	"leakyway/internal/platform"
+	"leakyway/internal/telemetry"
 	"leakyway/internal/trace"
 )
 
@@ -42,6 +43,14 @@ type Context struct {
 	// or DeadlineExceeded) within about one trial shard of cancellation.
 	// Nil (the default) runs to completion with zero checking overhead.
 	Ctx context.Context
+
+	// Progress, when non-nil, receives coarse run-progress checkpoints:
+	// phase start/end per experiment and a counter tick per trial shard
+	// handed out by Parallel. Checkpoints are single atomic operations
+	// that feed nothing back into the simulation, so experiment output is
+	// byte-identical with Progress attached or nil, for any Jobs value.
+	// Nil (the default) costs one pointer check per checkpoint site.
+	Progress *telemetry.Progress
 
 	// Trace, when non-nil, collects per-machine event streams; TraceMask
 	// selects the recorded subsystems (zero means all). Stream labels are
@@ -91,6 +100,7 @@ func (ctx *Context) child(seed int64, out io.Writer, label string) *Context {
 		Out:       out,
 		Jobs:      ctx.Jobs,
 		Ctx:       ctx.Ctx,
+		Progress:  ctx.Progress,
 		Trace:     ctx.Trace,
 		TraceMask: ctx.TraceMask,
 		tracePath: joinLabel(ctx.tracePath, label),

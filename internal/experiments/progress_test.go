@@ -1,0 +1,122 @@
+package experiments
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"leakyway/internal/telemetry"
+	"leakyway/internal/trace"
+)
+
+// progressContext builds a quick single-experiment context with telemetry
+// attached: a Progress tracker plus a counting-only trace collector, the
+// exact shape the daemon runs jobs with.
+func progressContext(out *bytes.Buffer, jobs int) (*Context, *telemetry.Progress, *trace.EventCounts) {
+	ctx := NewContext(out)
+	ctx.Quick = true
+	ctx.Jobs = jobs
+	prog := telemetry.NewProgress()
+	counts := &trace.EventCounts{}
+	ctx.Trace = trace.NewCountingCollector(counts)
+	prog.SetEventSource(counts.Counts)
+	ctx.Progress = prog
+	return ctx, prog, counts
+}
+
+// TestProgressCheckpointsPopulate runs one experiment with telemetry on
+// and checks every checkpoint dimension advanced: phases, shards, and the
+// per-subsystem event counts folded out of the trace bus. fig8 is the
+// pick because its platform sweep goes through Parallel, so the shard
+// counters must move.
+func TestProgressCheckpointsPopulate(t *testing.T) {
+	var out bytes.Buffer
+	ctx, prog, counts := progressContext(&out, 2)
+
+	if _, err := RunOne(ctx, "fig8"); err != nil {
+		t.Fatal(err)
+	}
+
+	s := prog.Snapshot()
+	if s.PhasesTotal != 1 || s.PhasesDone != 1 {
+		t.Fatalf("phases %d/%d, want 1/1", s.PhasesDone, s.PhasesTotal)
+	}
+	if s.Phase != "fig8" {
+		t.Fatalf("phase %q, want fig8", s.Phase)
+	}
+	if s.ShardsDone == 0 || s.ShardsDone != s.ShardsTotal {
+		t.Fatalf("shards %d/%d: want nonzero and settled", s.ShardsDone, s.ShardsTotal)
+	}
+	if counts.Total() == 0 {
+		t.Fatalf("counting trace sink saw no events")
+	}
+	if s.Events["sim"] == 0 {
+		t.Fatalf("snapshot events missing sim activity: %v", s.Events)
+	}
+}
+
+// TestTelemetryNeverPerturbsOutput is the determinism acceptance gate:
+// report bytes and metrics must be identical with telemetry on or off,
+// at any -jobs.
+func TestTelemetryNeverPerturbsOutput(t *testing.T) {
+	var baseline bytes.Buffer
+	base := NewContext(&baseline)
+	base.Quick = true
+	base.Jobs = 1
+	baseRes, err := RunOne(base, "fig6")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, jobs := range []int{1, 2, 8} {
+		t.Run(fmt.Sprintf("jobs%d", jobs), func(t *testing.T) {
+			var out bytes.Buffer
+			ctx, _, _ := progressContext(&out, jobs)
+			res, err := RunOne(ctx, "fig6")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(out.Bytes(), baseline.Bytes()) {
+				t.Fatalf("telemetry-on report differs from telemetry-off baseline at jobs=%d", jobs)
+			}
+			for k, v := range baseRes.Metrics {
+				if res.Metrics[k] != v {
+					t.Fatalf("metric %s: %v (telemetry on) != %v (off)", k, res.Metrics[k], v)
+				}
+			}
+		})
+	}
+}
+
+// TestProgressSnapshotMidRun samples the tracker while the run is in
+// flight and checks monotonicity — the property the SSE stream leans on.
+func TestProgressSnapshotMidRun(t *testing.T) {
+	var out bytes.Buffer
+	ctx, prog, _ := progressContext(&out, 2)
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		if _, err := RunOne(ctx, "fig6"); err != nil {
+			t.Error(err)
+		}
+	}()
+
+	var prev telemetry.ProgressSnapshot
+	for {
+		select {
+		case <-done:
+			final := prog.Snapshot()
+			if final.ShardsDone < prev.ShardsDone {
+				t.Fatalf("shards went backwards: %d then %d", prev.ShardsDone, final.ShardsDone)
+			}
+			return
+		default:
+		}
+		s := prog.Snapshot()
+		if s.ShardsDone < prev.ShardsDone || s.PhasesDone < prev.PhasesDone {
+			t.Fatalf("progress regressed: %+v after %+v", s, prev)
+		}
+		prev = s
+	}
+}

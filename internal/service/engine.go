@@ -9,20 +9,28 @@ import (
 	"leakyway/internal/hier"
 	"leakyway/internal/platform"
 	"leakyway/internal/scenario"
+	"leakyway/internal/telemetry"
 	"leakyway/internal/trace"
 )
 
 // EngineRunner is the production Runner: it drives the experiment engine
 // exactly the way the CLI does, so a daemon-produced metrics artifact is
 // byte-identical to `leakyway -template <t> -seed <s> -json` output for
-// the same parameters.
-func EngineRunner(ctx context.Context, sub Submission, spec *scenario.Spec) (*Result, error) {
+// the same parameters. When prog is non-nil the engine publishes phase
+// and shard checkpoints into it, and the trace event bus is folded into
+// running per-subsystem counters — through the buffering collector for
+// traced jobs, or a counting-only collector (no event storage, flat
+// memory) for untraced ones. Checkpoints and counts are one-way atomic
+// ticks: they observe the run without steering it, so the artifacts stay
+// byte-identical with telemetry on or off.
+func EngineRunner(ctx context.Context, sub Submission, spec *scenario.Spec, prog *telemetry.Progress) (*Result, error) {
 	var report bytes.Buffer
 	ectx := experiments.NewContext(&report)
 	ectx.Ctx = ctx
 	ectx.Seed = sub.Seed
 	ectx.Quick = sub.Quick
 	ectx.Jobs = sub.Jobs
+	ectx.Progress = prog
 	if sub.Platform != "both" {
 		p, ok := platform.ByName(sub.Platform)
 		if !ok {
@@ -31,8 +39,18 @@ func EngineRunner(ctx context.Context, sub Submission, spec *scenario.Spec) (*Re
 		}
 		ectx.Platforms = []hier.Config{p}
 	}
-	if sub.Trace {
+	switch {
+	case sub.Trace:
 		ectx.Trace = trace.NewCollector()
+		if prog != nil {
+			counts := &trace.EventCounts{}
+			ectx.Trace.SetCounts(counts)
+			prog.SetEventSource(counts.Counts)
+		}
+	case prog != nil:
+		counts := &trace.EventCounts{}
+		ectx.Trace = trace.NewCountingCollector(counts)
+		prog.SetEventSource(counts.Counts)
 	}
 
 	results, err := experiments.RunSpecs(ectx, []*scenario.Spec{spec})

@@ -6,6 +6,9 @@ import (
 	"fmt"
 	"net/http"
 	"strconv"
+
+	"leakyway/internal/experiments"
+	"leakyway/internal/telemetry"
 )
 
 // jobView is the GET /v1/jobs/{id} response body.
@@ -34,8 +37,10 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleGetJob)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
 	mux.HandleFunc("GET /v1/jobs/{id}/artifacts/{name}", s.handleArtifact)
+	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleJobEvents)
 	mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
 	mux.HandleFunc("GET /v1/statsz", s.handleStatsz)
+	mux.HandleFunc("GET /metricsz", s.handleMetricsz)
 	return mux
 }
 
@@ -158,7 +163,7 @@ func (s *Server) handleArtifact(w http.ResponseWriter, r *http.Request) {
 	}
 	af, ok := artifactFiles[name]
 	if !ok {
-		writeError(w, http.StatusNotFound, "no such artifact %q (want metrics, report or trace)", name)
+		writeError(w, http.StatusNotFound, "no such artifact %q (want metrics, report, trace or progress)", name)
 		return
 	}
 	if snap.Status != StatusDone {
@@ -175,11 +180,20 @@ func (s *Server) handleArtifact(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	body := map[string]string{"status": "ok", "engine": experiments.EngineVersion}
+	status := http.StatusOK
 	if s.Draining() {
-		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
-		return
+		body["status"] = "draining"
+		status = http.StatusServiceUnavailable
 	}
-	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	writeJSON(w, status, body)
+}
+
+// handleMetricsz renders the telemetry registry as Prometheus text
+// exposition (version 0.0.4) — the scrape endpoint.
+func (s *Server) handleMetricsz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", telemetry.ContentType)
+	telemetry.WritePrometheus(w, s.met.reg.Snapshot())
 }
 
 func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {

@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"leakyway/internal/scenario"
+	"leakyway/internal/telemetry"
 )
 
 // doJSON posts body to path on h and returns the recorder.
@@ -192,7 +193,7 @@ func TestHandlerCoalescedHeader(t *testing.T) {
 	started := make(chan struct{}, 1)
 	release := make(chan struct{})
 	s := newTestServer(t, func(c *Config) {
-		c.Runner = func(ctx context.Context, sub Submission, spec *scenario.Spec) (*Result, error) {
+		c.Runner = func(ctx context.Context, sub Submission, spec *scenario.Spec, _ *telemetry.Progress) (*Result, error) {
 			started <- struct{}{}
 			select {
 			case <-release:
@@ -228,7 +229,7 @@ func TestHandlerBackpressure429(t *testing.T) {
 	s := newTestServer(t, func(c *Config) {
 		c.Workers = 1
 		c.QueueCap = 1
-		c.Runner = func(ctx context.Context, sub Submission, spec *scenario.Spec) (*Result, error) {
+		c.Runner = func(ctx context.Context, sub Submission, spec *scenario.Spec, _ *telemetry.Progress) (*Result, error) {
 			started <- struct{}{}
 			select {
 			case <-release:
@@ -307,7 +308,7 @@ func TestHandlerCancel(t *testing.T) {
 	started := make(chan struct{}, 1)
 	s := newTestServer(t, func(c *Config) {
 		c.Workers = 1
-		c.Runner = func(ctx context.Context, sub Submission, spec *scenario.Spec) (*Result, error) {
+		c.Runner = func(ctx context.Context, sub Submission, spec *scenario.Spec, _ *telemetry.Progress) (*Result, error) {
 			started <- struct{}{}
 			<-ctx.Done()
 			return nil, ctx.Err()
@@ -350,7 +351,7 @@ func TestLoadDedup(t *testing.T) {
 	s := newTestServer(t, func(c *Config) {
 		c.Workers = 4
 		c.QueueCap = total
-		c.Runner = func(ctx context.Context, sub Submission, spec *scenario.Spec) (*Result, error) {
+		c.Runner = func(ctx context.Context, sub Submission, spec *scenario.Spec, _ *telemetry.Progress) (*Result, error) {
 			cmu.Lock()
 			calls++
 			cmu.Unlock()

@@ -5,10 +5,12 @@ import (
 	"crypto/sha256"
 	"encoding/hex"
 	"fmt"
+	"time"
 
 	"leakyway/internal/experiments"
 	"leakyway/internal/platform"
 	"leakyway/internal/scenario"
+	"leakyway/internal/telemetry"
 )
 
 // Submission is the POST /v1/jobs request body: one scenario template plus
@@ -134,6 +136,28 @@ type execution struct {
 	cancel context.CancelFunc
 	// done closes when the execution reaches a terminal state.
 	done chan struct{}
+	// enqueuedAt stamps admission; queue-wait and job-latency histograms
+	// measure from it.
+	enqueuedAt time.Time
+	// prog is the live progress tracker the engine publishes checkpoints
+	// into; progLog is its sampled history. Both are assigned once at
+	// construction and never reassigned, so SSE handlers read them
+	// without a lock.
+	prog    *telemetry.Progress
+	progLog *progressLog
+}
+
+// newExecution builds the single-flight unit with its progress plumbing
+// attached (spec may be nil during journal replay; recovery fills it in).
+func newExecution(key string, sub Submission, spec *scenario.Spec) *execution {
+	return &execution{
+		key:     key,
+		sub:     sub,
+		spec:    spec,
+		done:    make(chan struct{}),
+		prog:    telemetry.NewProgress(),
+		progLog: &progressLog{},
+	}
 }
 
 // Result is one completed simulation's artifact set.
@@ -145,6 +169,11 @@ type Result struct {
 	Metrics []byte
 	// Trace is the Chrome trace-event export; nil unless requested.
 	Trace []byte
+	// Progress is the sampled progress history (JSONL of progressEvent
+	// lines); the daemon fills it from the execution's recorder, stores
+	// it as the "progress" artifact, and replays it over SSE after the
+	// job completes. Nil when no samples were taken.
+	Progress []byte
 	// AssertFailed / AssertTotal summarize the template's assertions.
 	AssertFailed int
 	AssertTotal  int
@@ -153,5 +182,7 @@ type Result struct {
 // Runner executes one accepted submission. The daemon uses EngineRunner;
 // tests substitute stubs. The context carries the per-job deadline and is
 // cancelled on job cancellation and forced shutdown; implementations must
-// return promptly once it is done.
-type Runner func(ctx context.Context, sub Submission, spec *scenario.Spec) (*Result, error)
+// return promptly once it is done. prog, when non-nil, should receive
+// live progress checkpoints (EngineRunner threads it into the engine
+// context); a stub may ignore it.
+type Runner func(ctx context.Context, sub Submission, spec *scenario.Spec, prog *telemetry.Progress) (*Result, error)

@@ -6,6 +6,9 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"time"
+
+	"leakyway/internal/telemetry"
 )
 
 // The journal is the daemon's write-ahead log: every accepted job is
@@ -40,6 +43,11 @@ type journalEntry struct {
 type Journal struct {
 	f    *os.File
 	path string
+	// fsyncHist, when set, observes each Append's write+fsync latency —
+	// the daemon wires it to leakywayd_wal_fsync_seconds. Fsync stalls
+	// are the journal's dominant cost, so this is the histogram to watch
+	// when admission latency climbs.
+	fsyncHist *telemetry.Histogram
 }
 
 // replayJournal reads every parseable entry. Unparseable lines are
@@ -130,11 +138,15 @@ func (j *Journal) Append(e journalEntry) error {
 		return fmt.Errorf("journal: %w", err)
 	}
 	b = append(b, '\n')
+	start := time.Now()
 	if _, err := j.f.Write(b); err != nil {
 		return fmt.Errorf("journal: %w", err)
 	}
 	if err := j.f.Sync(); err != nil {
 		return fmt.Errorf("journal: %w", err)
+	}
+	if j.fsyncHist != nil {
+		j.fsyncHist.ObserveSince(start)
 	}
 	return nil
 }

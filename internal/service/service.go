@@ -6,20 +6,26 @@
 // re-simulating. A write-ahead journal makes accepted work durable: a
 // job acknowledged with 202 survives SIGKILL and completes after
 // restart, and SIGTERM drains the queue before exiting.
+//
+// The daemon is observable while it runs: every operational counter
+// lives in a telemetry registry exposed as Prometheus text on
+// /metricsz, each execution publishes progress checkpoints streamed
+// over SSE from /v1/jobs/{id}/events, and operational logging is
+// structured (log/slog) with job-scoped loggers.
 package service
 
 import (
 	"context"
 	"fmt"
-	"log"
+	"log/slog"
 	"math/rand"
 	"path/filepath"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"leakyway/internal/experiments"
 	"leakyway/internal/scenario"
+	"leakyway/internal/telemetry"
 )
 
 // Config parameterizes a Server. The zero value plus a DataDir is usable;
@@ -44,24 +50,16 @@ type Config struct {
 	// smoke hook: it widens the window in which a crash interrupts an
 	// accepted-but-incomplete job.
 	Stall time.Duration
+	// ProgressInterval is the sampling cadence for per-job progress:
+	// both the recorder that builds the stored "progress" artifact and
+	// the live SSE stream tick at this rate (default 250ms).
+	ProgressInterval time.Duration
 	// Runner executes submissions (default EngineRunner).
 	Runner Runner
-	// Logf receives operational log lines (default log.Printf).
-	Logf func(format string, args ...any)
-}
-
-// Stats are the monotonic counters served by /v1/statsz.
-type Stats struct {
-	Accepted  atomic.Int64 // submissions journalled and acknowledged
-	Completed atomic.Int64 // jobs reaching done
-	Failed    atomic.Int64 // jobs failing after retries
-	Canceled  atomic.Int64 // jobs canceled by clients
-	CacheHits atomic.Int64 // submissions answered from the store
-	Coalesced atomic.Int64 // submissions attached to an in-flight execution
-	Rejected  atomic.Int64 // submissions refused with 429
-	Retries   atomic.Int64 // attempt retries
-	Panics    atomic.Int64 // runner panics contained by a worker
-	Recovered atomic.Int64 // jobs re-enqueued from the journal at startup
+	// Logger receives structured operational logs (default
+	// slog.Default()). The server derives job-scoped child loggers from
+	// it, so every line about an execution carries its job ID and key.
+	Logger *slog.Logger
 }
 
 // Server is the daemon's core. It owns the job table, the single-flight
@@ -70,21 +68,26 @@ type Server struct {
 	cfg     Config
 	store   *Store
 	journal *Journal
+	met     *serverMetrics
 
 	mu       sync.Mutex
 	jobs     map[string]*Job
 	inflight map[string]*execution // key → the execution new jobs attach to
-	queued   int                   // executions accepted but not yet picked up
+	queued   int                   // executions accepted but not yet running
 	seq      int64
 	draining bool
 
 	queue chan *execution
-	stats Stats
 
 	baseCtx    context.Context
 	baseCancel context.CancelFunc
 	wg         sync.WaitGroup
 }
+
+// Metrics exposes the server's telemetry registry — the same one
+// /metricsz renders — so embedders (loadgen, tests) can read counters
+// directly.
+func (s *Server) Metrics() *telemetry.Registry { return s.met.reg }
 
 // New opens the data directory, verifies store integrity, replays the
 // journal — re-enqueueing every accepted job that has no terminal record
@@ -110,19 +113,31 @@ func New(cfg Config) (*Server, error) {
 	if cfg.RetryBase <= 0 {
 		cfg.RetryBase = 100 * time.Millisecond
 	}
+	if cfg.ProgressInterval <= 0 {
+		cfg.ProgressInterval = 250 * time.Millisecond
+	}
 	if cfg.Runner == nil {
 		cfg.Runner = EngineRunner
 	}
-	if cfg.Logf == nil {
-		cfg.Logf = log.Printf
+	if cfg.Logger == nil {
+		cfg.Logger = slog.Default()
 	}
+
+	s := &Server{
+		cfg:      cfg,
+		jobs:     map[string]*Job{},
+		inflight: map[string]*execution{},
+	}
+	s.met = newServerMetrics(s)
+	s.baseCtx, s.baseCancel = context.WithCancel(context.Background())
 
 	store, dropped, err := OpenStore(filepath.Join(cfg.DataDir, "store"))
 	if err != nil {
 		return nil, err
 	}
+	s.store = store
 	if dropped > 0 {
-		cfg.Logf("store: dropped %d corrupt or torn entr(ies) during integrity sweep", dropped)
+		cfg.Logger.Warn("store integrity sweep dropped corrupt or torn entries", "dropped", dropped)
 	}
 
 	jpath := filepath.Join(cfg.DataDir, "journal.jsonl")
@@ -130,14 +145,6 @@ func New(cfg Config) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
-
-	s := &Server{
-		cfg:      cfg,
-		store:    store,
-		jobs:     map[string]*Job{},
-		inflight: map[string]*execution{},
-	}
-	s.baseCtx, s.baseCancel = context.WithCancel(context.Background())
 
 	recovered := s.replay(entries)
 
@@ -151,12 +158,14 @@ func New(cfg Config) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
+	s.journal.fsyncHist = s.met.walFsync
 
 	for _, exec := range recovered {
 		s.queued++
+		exec.enqueuedAt = time.Now()
 		s.queue <- exec
-		s.stats.Recovered.Add(1)
-		cfg.Logf("recovery: re-enqueued job %s (key %s)", exec.jobs[0].ID, exec.key)
+		s.met.recovered.Inc()
+		cfg.Logger.Info("recovery re-enqueued job", "job", exec.jobs[0].ID, "key", shortKey(exec.key))
 	}
 
 	for i := 0; i < cfg.Workers; i++ {
@@ -164,6 +173,15 @@ func New(cfg Config) (*Server, error) {
 		go s.worker()
 	}
 	return s, nil
+}
+
+// shortKey abbreviates a cache key for log lines.
+func shortKey(key string) string {
+	h := hexOf(key)
+	if len(h) > 12 {
+		h = h[:12]
+	}
+	return h
 }
 
 // replay rebuilds the job table from journal entries and returns the
@@ -186,7 +204,7 @@ func (s *Server) replay(entries []journalEntry) []*execution {
 			}
 			exec := byKey[e.Key]
 			if exec == nil {
-				exec = &execution{key: e.Key, sub: *e.Sub, done: make(chan struct{})}
+				exec = newExecution(e.Key, *e.Sub, nil)
 				byKey[e.Key] = exec
 				order = append(order, e.Key)
 			}
@@ -342,9 +360,9 @@ func (s *Server) Submit(sub Submission) (*Job, error) {
 		if err := s.journal.Append(journalEntry{Op: opDone, ID: j.ID, Key: key}); err != nil {
 			return nil, &submitError{status: 500, msg: fmt.Sprintf("journal: %v", err)}
 		}
-		s.stats.Accepted.Add(1)
-		s.stats.CacheHits.Add(1)
-		s.stats.Completed.Add(1)
+		s.met.accepted.Inc()
+		s.met.storeHit.Inc()
+		s.met.completed.Inc()
 		return j, nil
 	}
 
@@ -359,14 +377,14 @@ func (s *Server) Submit(sub Submission) (*Job, error) {
 			return nil, &submitError{status: 500, msg: fmt.Sprintf("journal: %v", err)}
 		}
 		exec.jobs = append(exec.jobs, j)
-		s.stats.Accepted.Add(1)
-		s.stats.Coalesced.Add(1)
+		s.met.accepted.Inc()
+		s.met.storeCoalesced.Inc()
 		return j, nil
 	}
 
 	// Backpressure: the queue is full.
 	if s.queued >= s.cfg.QueueCap {
-		s.stats.Rejected.Add(1)
+		s.met.rejected.Inc()
 		retry := 1 + s.queued/s.cfg.Workers
 		return nil, &submitError{
 			status:     429,
@@ -376,7 +394,7 @@ func (s *Server) Submit(sub Submission) (*Job, error) {
 	}
 
 	j := s.newJobLocked(key, sub)
-	exec := &execution{key: key, sub: j.sub, spec: spec, done: make(chan struct{})}
+	exec := newExecution(key, j.sub, spec)
 	j.exec = exec
 	exec.jobs = []*Job{j}
 
@@ -389,8 +407,10 @@ func (s *Server) Submit(sub Submission) (*Job, error) {
 	}
 	s.inflight[key] = exec
 	s.queued++
+	exec.enqueuedAt = time.Now()
 	s.queue <- exec // cannot block: queued < QueueCap ≤ cap(queue)
-	s.stats.Accepted.Add(1)
+	s.met.accepted.Inc()
+	s.met.storeMiss.Inc()
 	return j, nil
 }
 
@@ -451,7 +471,7 @@ func (s *Server) Cancel(id string) (bool, error) {
 		}
 	}
 	s.mu.Unlock()
-	s.stats.Canceled.Add(1)
+	s.met.canceled.Inc()
 	if abort != nil {
 		abort()
 	}
@@ -507,16 +527,21 @@ func (s *Server) worker() {
 		s.mu.Lock()
 		s.queued--
 		s.mu.Unlock()
+		s.met.queueWait.ObserveSince(exec.enqueuedAt)
 		if s.baseCtx.Err() != nil {
 			return // Kill: abandon without journalling, recovery will rerun
 		}
+		s.met.workersBusy.Add(1)
 		s.runExecution(exec)
+		s.met.workersBusy.Add(-1)
 	}
 }
 
 // runExecution drives one execution to a terminal state: serve from
 // store if a result appeared meanwhile, otherwise attempt with deadline
-// + panic containment + bounded jittered retries.
+// + panic containment + bounded jittered retries. While an attempt runs,
+// a recorder goroutine samples the execution's progress tracker into the
+// progress log that becomes the stored "progress" artifact.
 func (s *Server) runExecution(exec *execution) {
 	defer close(exec.done)
 
@@ -526,6 +551,35 @@ func (s *Server) runExecution(exec *execution) {
 		s.finish(exec, StatusDone, "")
 		return
 	}
+
+	lg := s.cfg.Logger.With("job", exec.jobs[0].ID, "key", shortKey(exec.key))
+
+	exec.progLog.begin()
+	recStop := make(chan struct{})
+	var recWG sync.WaitGroup
+	recWG.Add(1)
+	go func() {
+		defer recWG.Done()
+		ticker := time.NewTicker(s.cfg.ProgressInterval)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-recStop:
+				return
+			case <-ticker.C:
+				exec.progLog.record(exec.prog.Snapshot())
+			}
+		}
+	}()
+	var recOnce sync.Once
+	stopRecorder := func() {
+		recOnce.Do(func() {
+			close(recStop)
+			recWG.Wait()
+			exec.progLog.record(exec.prog.Snapshot())
+		})
+	}
+	defer stopRecorder()
 
 	for attempt := 0; ; attempt++ {
 		s.mu.Lock()
@@ -551,6 +605,10 @@ func (s *Server) runExecution(exec *execution) {
 			return
 		}
 
+		if attempt > 0 {
+			exec.prog.Reset()
+			exec.progLog.begin()
+		}
 		res, err := s.attempt(actx, exec)
 		cancel()
 		s.mu.Lock()
@@ -558,6 +616,8 @@ func (s *Server) runExecution(exec *execution) {
 		s.mu.Unlock()
 
 		if err == nil {
+			stopRecorder()
+			res.Progress = exec.progLog.marshal()
 			if perr := s.store.Put(exec.key, experiments.EngineVersion, res); perr != nil {
 				err = fmt.Errorf("store: %w", perr)
 			} else {
@@ -578,10 +638,10 @@ func (s *Server) runExecution(exec *execution) {
 			s.finish(exec, StatusFailed, msg)
 			return
 		}
-		s.stats.Retries.Add(1)
+		s.met.retries.Inc()
 		backoff := s.cfg.RetryBase << uint(attempt)
 		backoff += time.Duration(rand.Int63n(int64(backoff)/2 + 1))
-		s.cfg.Logf("execution %s attempt %d failed (%v); retrying in %v", exec.key, attempt+1, err, backoff)
+		lg.Warn("attempt failed; retrying", "attempt", attempt+1, "err", err, "backoff", backoff)
 		select {
 		case <-time.After(backoff):
 		case <-s.baseCtx.Done():
@@ -596,7 +656,7 @@ func (s *Server) runExecution(exec *execution) {
 func (s *Server) attempt(ctx context.Context, exec *execution) (res *Result, err error) {
 	defer func() {
 		if r := recover(); r != nil {
-			s.stats.Panics.Add(1)
+			s.met.panics.Inc()
 			err = fmt.Errorf("runner panic: %v", r)
 		}
 	}()
@@ -607,7 +667,7 @@ func (s *Server) attempt(ctx context.Context, exec *execution) (res *Result, err
 			return nil, ctx.Err()
 		}
 	}
-	return s.cfg.Runner(ctx, exec.sub, exec.spec)
+	return s.cfg.Runner(ctx, exec.sub, exec.spec, exec.prog)
 }
 
 // finishJournal appends one terminal entry for the execution. A journal
@@ -618,13 +678,16 @@ func (s *Server) finishJournal(exec *execution, e journalEntry) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if err := s.journal.Append(e); err != nil {
-		s.cfg.Logf("journal: %v", err)
+		s.cfg.Logger.Error("journal append failed", "op", e.Op, "key", shortKey(exec.key), "err", err)
 	}
 }
 
 // finish moves every non-canceled job on the execution to status and
 // clears the single-flight slot.
 func (s *Server) finish(exec *execution, status, errMsg string) {
+	if h := s.met.jobDuration(status); h != nil && !exec.enqueuedAt.IsZero() {
+		h.ObserveSince(exec.enqueuedAt)
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	for _, j := range exec.jobs {
@@ -635,28 +698,12 @@ func (s *Server) finish(exec *execution, status, errMsg string) {
 		j.Error = errMsg
 		switch status {
 		case StatusDone:
-			s.stats.Completed.Add(1)
+			s.met.completed.Inc()
 		case StatusFailed:
-			s.stats.Failed.Add(1)
+			s.met.failed.Inc()
 		}
 	}
 	delete(s.inflight, exec.key)
-}
-
-// Stats returns a point-in-time copy of the counters.
-func (s *Server) Stats() map[string]int64 {
-	return map[string]int64{
-		"accepted":   s.stats.Accepted.Load(),
-		"completed":  s.stats.Completed.Load(),
-		"failed":     s.stats.Failed.Load(),
-		"canceled":   s.stats.Canceled.Load(),
-		"cache_hits": s.stats.CacheHits.Load(),
-		"coalesced":  s.stats.Coalesced.Load(),
-		"rejected":   s.stats.Rejected.Load(),
-		"retries":    s.stats.Retries.Load(),
-		"panics":     s.stats.Panics.Load(),
-		"recovered":  s.stats.Recovered.Load(),
-	}
 }
 
 // Draining reports whether the server has stopped admitting work.

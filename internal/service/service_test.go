@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"fmt"
+	"log/slog"
 	"os"
 	"path/filepath"
 	"strings"
@@ -12,7 +13,20 @@ import (
 	"time"
 
 	"leakyway/internal/scenario"
+	"leakyway/internal/telemetry"
 )
+
+// testLogger routes the server's structured logs into the test log.
+type testLogWriter struct{ t *testing.T }
+
+func (w testLogWriter) Write(p []byte) (int, error) {
+	w.t.Logf("%s", bytes.TrimRight(p, "\n"))
+	return len(p), nil
+}
+
+func testLogger(t *testing.T) *slog.Logger {
+	return slog.New(slog.NewTextHandler(testLogWriter{t: t}, nil))
+}
 
 // tmplFor renders a distinct minimal valid template per id.
 func tmplFor(id string) string {
@@ -30,7 +44,7 @@ statewalk:
 // stubRunner returns a deterministic Runner that sleeps delay (honoring
 // the context) and counts its calls.
 func stubRunner(delay time.Duration, calls *int64, mu *sync.Mutex) Runner {
-	return func(ctx context.Context, sub Submission, spec *scenario.Spec) (*Result, error) {
+	return func(ctx context.Context, sub Submission, spec *scenario.Spec, _ *telemetry.Progress) (*Result, error) {
 		if mu != nil {
 			mu.Lock()
 			*calls++
@@ -62,7 +76,7 @@ func newTestServer(t *testing.T, mutate func(*Config)) *Server {
 		JobTimeout: 30 * time.Second,
 		MaxRetries: -1,
 		Runner:     stubRunner(0, nil, nil),
-		Logf:       t.Logf,
+		Logger:     testLogger(t),
 	}
 	if mutate != nil {
 		mutate(&cfg)
@@ -158,7 +172,7 @@ func TestSingleFlightCoalescesConcurrentDuplicates(t *testing.T) {
 	var calls int64
 	var mu sync.Mutex
 	s := newTestServer(t, func(c *Config) {
-		c.Runner = func(ctx context.Context, sub Submission, spec *scenario.Spec) (*Result, error) {
+		c.Runner = func(ctx context.Context, sub Submission, spec *scenario.Spec, _ *telemetry.Progress) (*Result, error) {
 			mu.Lock()
 			calls++
 			mu.Unlock()
@@ -207,7 +221,7 @@ func TestBackpressureRejectsWhenQueueFull(t *testing.T) {
 	s := newTestServer(t, func(c *Config) {
 		c.Workers = 1
 		c.QueueCap = 2
-		c.Runner = func(ctx context.Context, sub Submission, spec *scenario.Spec) (*Result, error) {
+		c.Runner = func(ctx context.Context, sub Submission, spec *scenario.Spec, _ *telemetry.Progress) (*Result, error) {
 			started <- struct{}{}
 			select {
 			case <-release:
@@ -300,7 +314,7 @@ func TestKillRestartRecoversJournalledJobs(t *testing.T) {
 		MaxRetries: -1,
 		Stall:      time.Hour,
 		Runner:     stubRunner(0, &calls, &mu),
-		Logf:       t.Logf,
+		Logger:     testLogger(t),
 	}
 	s1, err := New(cfg)
 	if err != nil {
@@ -328,7 +342,7 @@ func TestKillRestartRecoversJournalledJobs(t *testing.T) {
 	if err != nil {
 		t.Fatalf("restart: %v", err)
 	}
-	if got := s2.stats.Recovered.Load(); got != 1 {
+	if got := s2.met.recovered.Value(); got != 1 {
 		t.Fatalf("recovered %d jobs, want 1", got)
 	}
 	snap := waitStatus(t, s2, j1.ID, StatusDone)
@@ -363,7 +377,7 @@ func TestKillRestartRecoversJournalledJobs(t *testing.T) {
 
 func TestRestartAfterCleanDrainRecoversNothing(t *testing.T) {
 	dir := t.TempDir()
-	cfg := Config{DataDir: dir, MaxRetries: -1, Runner: stubRunner(0, nil, nil), Logf: t.Logf}
+	cfg := Config{DataDir: dir, MaxRetries: -1, Runner: stubRunner(0, nil, nil), Logger: testLogger(t)}
 	s1, err := New(cfg)
 	if err != nil {
 		t.Fatal(err)
@@ -382,7 +396,7 @@ func TestRestartAfterCleanDrainRecoversNothing(t *testing.T) {
 		t.Fatalf("restart after clean drain: %v", err)
 	}
 	defer s2.Drain()
-	if got := s2.stats.Recovered.Load(); got != 0 {
+	if got := s2.met.recovered.Value(); got != 0 {
 		t.Fatalf("clean shutdown recovered %d jobs, want 0", got)
 	}
 	// The completed job is still visible and its artifacts still served.
@@ -399,7 +413,7 @@ func TestCancelStopsRunningJob(t *testing.T) {
 	started := make(chan struct{}, 1)
 	s := newTestServer(t, func(c *Config) {
 		c.Workers = 1
-		c.Runner = func(ctx context.Context, sub Submission, spec *scenario.Spec) (*Result, error) {
+		c.Runner = func(ctx context.Context, sub Submission, spec *scenario.Spec, _ *telemetry.Progress) (*Result, error) {
 			started <- struct{}{}
 			<-ctx.Done()
 			return nil, ctx.Err()
@@ -451,7 +465,7 @@ func TestRetriesThenFails(t *testing.T) {
 	s := newTestServer(t, func(c *Config) {
 		c.MaxRetries = 2
 		c.RetryBase = time.Millisecond
-		c.Runner = func(ctx context.Context, sub Submission, spec *scenario.Spec) (*Result, error) {
+		c.Runner = func(ctx context.Context, sub Submission, spec *scenario.Spec, _ *telemetry.Progress) (*Result, error) {
 			mu.Lock()
 			calls++
 			mu.Unlock()
@@ -487,15 +501,15 @@ func TestRetriesThenFails(t *testing.T) {
 	if got != 3 {
 		t.Fatalf("runner ran %d times, want 3 (1 + 2 retries)", got)
 	}
-	if s.stats.Retries.Load() != 2 {
-		t.Fatalf("retries counter %d, want 2", s.stats.Retries.Load())
+	if s.met.retries.Value() != 2 {
+		t.Fatalf("retries counter %d, want 2", s.met.retries.Value())
 	}
 }
 
 func TestRunnerPanicIsContainedAndFailsJob(t *testing.T) {
 	s := newTestServer(t, func(c *Config) {
 		c.RetryBase = time.Millisecond
-		c.Runner = func(ctx context.Context, sub Submission, spec *scenario.Spec) (*Result, error) {
+		c.Runner = func(ctx context.Context, sub Submission, spec *scenario.Spec, _ *telemetry.Progress) (*Result, error) {
 			panic("runner exploded")
 		}
 	})
@@ -522,7 +536,7 @@ func TestRunnerPanicIsContainedAndFailsJob(t *testing.T) {
 		}
 		time.Sleep(2 * time.Millisecond)
 	}
-	if s.stats.Panics.Load() == 0 {
+	if s.met.panics.Value() == 0 {
 		t.Fatalf("panic counter not incremented")
 	}
 	// The daemon is still alive and serving.
@@ -535,7 +549,7 @@ func TestRunnerPanicIsContainedAndFailsJob(t *testing.T) {
 
 func TestStoreSurvivesCorruptionSweep(t *testing.T) {
 	dir := t.TempDir()
-	cfg := Config{DataDir: dir, MaxRetries: -1, Runner: stubRunner(0, nil, nil), Logf: t.Logf}
+	cfg := Config{DataDir: dir, MaxRetries: -1, Runner: stubRunner(0, nil, nil), Logger: testLogger(t)}
 	s1, err := New(cfg)
 	if err != nil {
 		t.Fatal(err)

@@ -1,0 +1,353 @@
+package service
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"leakyway/internal/experiments"
+	"leakyway/internal/scenario"
+	"leakyway/internal/telemetry"
+)
+
+// sseEvent is one parsed server-sent event frame.
+type sseEvent struct {
+	name, data string
+}
+
+// readEvent parses frames of the form "event: x\ndata: y\n\n".
+func readEvent(br *bufio.Reader) (sseEvent, error) {
+	var ev sseEvent
+	for {
+		line, err := br.ReadString('\n')
+		if err != nil {
+			return ev, err
+		}
+		line = strings.TrimRight(line, "\n")
+		if line == "" {
+			if ev.name != "" || ev.data != "" {
+				return ev, nil
+			}
+			continue
+		}
+		if v, ok := strings.CutPrefix(line, "event: "); ok {
+			ev.name = v
+		}
+		if v, ok := strings.CutPrefix(line, "data: "); ok {
+			ev.data = v
+		}
+	}
+}
+
+// openStream GETs the events endpoint and returns a frame reader plus a
+// cancel that simulates client disconnect.
+func openStream(t *testing.T, base, id string) (*bufio.Reader, context.CancelFunc, *http.Response) {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	req, err := http.NewRequestWithContext(ctx, "GET", base+"/v1/jobs/"+id+"/events", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		cancel()
+		t.Fatalf("open SSE stream: %v", err)
+	}
+	if resp.StatusCode != 200 {
+		cancel()
+		t.Fatalf("SSE stream status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		cancel()
+		t.Fatalf("SSE content type %q", ct)
+	}
+	return bufio.NewReader(resp.Body), cancel, resp
+}
+
+// TestSSELiveStreamAndReplay drives a job through two runner-published
+// phases while a subscriber watches live, then checks a late subscriber
+// gets the same history replayed from the stored artifact.
+func TestSSELiveStreamAndReplay(t *testing.T) {
+	started := make(chan struct{})
+	release1 := make(chan struct{})
+	release2 := make(chan struct{})
+	s := newTestServer(t, func(c *Config) {
+		c.ProgressInterval = 5 * time.Millisecond
+		c.Runner = func(ctx context.Context, sub Submission, spec *scenario.Spec, prog *telemetry.Progress) (*Result, error) {
+			prog.SetPhasesTotal(2)
+			prog.StartPhase("alpha")
+			close(started)
+			<-release1
+			prog.EndPhase()
+			prog.StartPhase("beta")
+			<-release2
+			prog.EndPhase()
+			return &Result{Report: []byte("r"), Metrics: []byte("{}\n")}, nil
+		}
+	})
+	defer s.Drain()
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+
+	j, err := s.Submit(Submission{Template: tmplFor("sse"), Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-started
+
+	br, cancel, resp := openStream(t, srv.URL, j.ID)
+	defer cancel()
+	defer resp.Body.Close()
+
+	// The stream opens with an immediate frame of the current state.
+	ev, err := readEvent(br)
+	if err != nil {
+		t.Fatalf("first frame: %v", err)
+	}
+	if ev.name != "progress" || !strings.Contains(ev.data, `"phase":"alpha"`) {
+		t.Fatalf("first frame %+v, want progress in phase alpha", ev)
+	}
+
+	// Advance the job; a changed snapshot must produce a new frame.
+	close(release1)
+	for {
+		ev, err = readEvent(br)
+		if err != nil {
+			t.Fatalf("mid-run frame: %v", err)
+		}
+		if strings.Contains(ev.data, `"phase":"beta"`) {
+			break
+		}
+	}
+
+	// Finish the job; the stream must end with a done frame and EOF.
+	close(release2)
+	for {
+		ev, err = readEvent(br)
+		if err != nil {
+			t.Fatalf("awaiting done frame: %v", err)
+		}
+		if ev.name == "done" {
+			break
+		}
+	}
+	if !strings.Contains(ev.data, `"status":"done"`) {
+		t.Fatalf("done frame %q missing terminal status", ev.data)
+	}
+	if _, err := readEvent(br); err != io.EOF {
+		t.Fatalf("stream did not close after done: %v", err)
+	}
+
+	// Late subscriber: the same job replays progress from the stored
+	// artifact, then the done frame.
+	br2, cancel2, resp2 := openStream(t, srv.URL, j.ID)
+	defer cancel2()
+	defer resp2.Body.Close()
+	progressFrames := 0
+	for {
+		ev, err := readEvent(br2)
+		if err != nil {
+			t.Fatalf("replay: %v", err)
+		}
+		if ev.name == "progress" {
+			progressFrames++
+			continue
+		}
+		if ev.name == "done" {
+			if progressFrames == 0 {
+				t.Fatalf("replay produced no progress frames before done")
+			}
+			if !strings.Contains(ev.data, `"status":"done"`) {
+				t.Fatalf("replay done frame %q", ev.data)
+			}
+			break
+		}
+	}
+
+	// The progress artifact is fetchable directly and ends at 2/2 phases.
+	areq, err := http.Get(srv.URL + "/v1/jobs/" + j.ID + "/artifacts/progress")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer areq.Body.Close()
+	if areq.StatusCode != 200 {
+		t.Fatalf("progress artifact status %d", areq.StatusCode)
+	}
+	if ct := areq.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("progress artifact content type %q", ct)
+	}
+	body, _ := io.ReadAll(areq.Body)
+	lines := strings.Split(strings.TrimSpace(string(body)), "\n")
+	if !strings.Contains(lines[len(lines)-1], `"phases_done":2`) {
+		t.Fatalf("final progress line %q does not show 2 completed phases", lines[len(lines)-1])
+	}
+
+	// Unknown jobs get a plain 404, not a stream.
+	if r404, err := http.Get(srv.URL + "/v1/jobs/nope/events"); err != nil || r404.StatusCode != 404 {
+		t.Fatalf("events for unknown job: %v %d", err, r404.StatusCode)
+	}
+}
+
+// TestSSEClientDisconnectFreesStream cancels a live subscription and
+// checks the handler goroutine exits (subscriber gauge back to zero) —
+// the no-leak property.
+func TestSSEClientDisconnectFreesStream(t *testing.T) {
+	started := make(chan struct{})
+	release := make(chan struct{})
+	s := newTestServer(t, func(c *Config) {
+		c.ProgressInterval = 5 * time.Millisecond
+		c.Runner = func(ctx context.Context, sub Submission, spec *scenario.Spec, prog *telemetry.Progress) (*Result, error) {
+			prog.StartPhase("held")
+			close(started)
+			select {
+			case <-release:
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+			return &Result{Report: []byte("r"), Metrics: []byte("{}\n")}, nil
+		}
+	})
+	defer s.Drain()
+	defer close(release)
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+
+	j, err := s.Submit(Submission{Template: tmplFor("dc"), Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-started
+
+	br, cancel, resp := openStream(t, srv.URL, j.ID)
+	defer resp.Body.Close()
+	if _, err := readEvent(br); err != nil {
+		t.Fatalf("first frame: %v", err)
+	}
+	if got := s.met.sseSubs.Value(); got != 1 {
+		t.Fatalf("subscriber gauge %v with one open stream, want 1", got)
+	}
+
+	cancel() // client goes away mid-run
+	deadline := time.Now().Add(5 * time.Second)
+	for s.met.sseSubs.Value() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("subscriber gauge stuck at %v after disconnect", s.met.sseSubs.Value())
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// TestMetricszExposition scrapes /metricsz after a little traffic and
+// pins the exposition-format essentials: content type, HELP/TYPE
+// comments, labeled counters and a complete histogram.
+func TestMetricszExposition(t *testing.T) {
+	s := newTestServer(t, nil)
+	defer s.Drain()
+	h := s.Handler()
+
+	j, err := s.Submit(Submission{Template: tmplFor("mx"), Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitStatus(t, s, j.ID, StatusDone)
+	if _, err := s.Submit(Submission{Template: tmplFor("mx"), Seed: 1}); err != nil {
+		t.Fatal(err) // cache hit
+	}
+
+	w := doJSON(h, "GET", "/metricsz", nil)
+	if w.Code != 200 {
+		t.Fatalf("metricsz: %d", w.Code)
+	}
+	if ct := w.Header().Get("Content-Type"); ct != telemetry.ContentType {
+		t.Fatalf("metricsz content type %q", ct)
+	}
+	body := w.Body.String()
+	for _, want := range []string{
+		"# TYPE leakywayd_jobs_total counter",
+		"# HELP leakywayd_jobs_total",
+		`leakywayd_jobs_total{event="accepted"} 2`,
+		`leakywayd_store_lookups_total{result="hit"} 1`,
+		`leakywayd_store_lookups_total{result="miss"} 1`,
+		"# TYPE leakywayd_queue_wait_seconds histogram",
+		`leakywayd_queue_wait_seconds_bucket{le="+Inf"} 1`,
+		"leakywayd_queue_wait_seconds_count 1",
+		`leakywayd_job_duration_seconds_count{status="done"} 1`,
+		"# TYPE leakywayd_wal_fsync_seconds histogram",
+		"leakywayd_queue_depth 0",
+		"leakywayd_workers 2",
+		"leakywayd_draining 0",
+		fmt.Sprintf(`leakywayd_build_info{engine=%q} 1`, experiments.EngineVersion),
+	} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("metricsz missing %q in:\n%s", want, body)
+		}
+	}
+	// WAL fsyncs happened (accept + done entries at minimum).
+	if !strings.Contains(body, "leakywayd_wal_fsync_seconds_count") {
+		t.Fatalf("metricsz missing wal fsync count:\n%s", body)
+	}
+
+	// Every sample line is NAME{labels} VALUE or NAME VALUE — no torn
+	// lines, no stray text.
+	for _, line := range strings.Split(strings.TrimSpace(body), "\n") {
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.SplitN(line, " ", 2)
+		if len(fields) != 2 || fields[0] == "" || fields[1] == "" {
+			t.Fatalf("malformed exposition line %q", line)
+		}
+	}
+}
+
+// TestStatszRaceClean hammers the stats and metrics read paths while
+// jobs flow — the -race gate for the registry-backed counter reads that
+// replaced the old ad-hoc struct.
+func TestStatszRaceClean(t *testing.T) {
+	s := newTestServer(t, nil)
+	h := s.Handler()
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for r := 0; r < 3; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				doJSON(h, "GET", "/v1/statsz", nil)
+				doJSON(h, "GET", "/metricsz", nil)
+				s.Stats()
+			}
+		}()
+	}
+	for i := 0; i < 30; i++ {
+		if _, err := s.Submit(Submission{Template: tmplFor(fmt.Sprintf("rc%d", i%5)), Seed: int64(i % 3)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	close(stop)
+	wg.Wait()
+
+	stats := s.Stats()
+	if stats["accepted"] != 30 {
+		t.Fatalf("accepted %d, want 30", stats["accepted"])
+	}
+	if stats["completed"] != 30 {
+		t.Fatalf("completed %d, want 30", stats["completed"])
+	}
+}

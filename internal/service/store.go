@@ -41,9 +41,10 @@ type artifactMeta struct {
 // artifactFiles maps API artifact names to entry file names and content
 // types.
 var artifactFiles = map[string]struct{ file, contentType string }{
-	"metrics": {"metrics.json", "application/json"},
-	"report":  {"report.txt", "text/plain; charset=utf-8"},
-	"trace":   {"trace.json", "application/json"},
+	"metrics":  {"metrics.json", "application/json"},
+	"report":   {"report.txt", "text/plain; charset=utf-8"},
+	"trace":    {"trace.json", "application/json"},
+	"progress": {"progress.jsonl", "application/x-ndjson"},
 }
 
 // OpenStore opens (creating if needed) the store at dir and sweeps it for
@@ -152,6 +153,9 @@ func (s *Store) Put(key, engine string, res *Result) error {
 	}
 	if res.Trace != nil {
 		artifacts["trace"] = res.Trace
+	}
+	if len(res.Progress) > 0 {
+		artifacts["progress"] = res.Progress
 	}
 	meta := storeMeta{
 		Key:          key,

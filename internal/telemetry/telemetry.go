@@ -1,0 +1,313 @@
+// Package telemetry is the daemon's live-metrics substrate: a lock-cheap
+// registry of counters, gauges and fixed-bucket histograms, plus the
+// per-job Progress tracker the experiment engine publishes checkpoints
+// into. It exists as its own layer — not an HTTP detail of the service —
+// because the same running counters feed several consumers: the
+// /metricsz Prometheus exposition, the per-job SSE progress stream, and
+// (next) the online detectors of the attacker-vs-defender loop, which
+// need exactly this kind of cheap always-current counter feed.
+//
+// Concurrency contract: every metric handle is safe for concurrent use
+// and updates are single atomic operations (histograms: two), so emit
+// sites on hot paths pay nanoseconds, never a lock. The registry's own
+// mutex is taken only at registration and snapshot time. Iteration order
+// is deterministic — families sorted by name, series by label signature
+// — so two snapshots of the same state render byte-identically.
+package telemetry
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Label is one metric dimension ("status"="done"). Labels are fixed at
+// registration: a series is identified by its name plus its full label
+// set, and updates never allocate label machinery.
+type Label struct {
+	Key, Value string
+}
+
+// L is shorthand for constructing a Label.
+func L(key, value string) Label { return Label{Key: key, Value: value} }
+
+// metric kinds, in exposition vocabulary.
+const (
+	kindCounter   = "counter"
+	kindGauge     = "gauge"
+	kindHistogram = "histogram"
+)
+
+// Counter is a monotonically increasing integer metric.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n; negative deltas are ignored (counters are monotonic).
+func (c *Counter) Add(n int64) {
+	if n > 0 {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a metric that can go up and down. A gauge registered with
+// GaugeFunc is read-only from the outside: its value is sampled from the
+// callback at snapshot time.
+type Gauge struct {
+	bits atomic.Uint64
+	fn   func() float64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add applies a delta with a CAS loop.
+func (g *Gauge) Add(delta float64) {
+	for {
+		old := g.bits.Load()
+		v := math.Float64frombits(old) + delta
+		if g.bits.CompareAndSwap(old, math.Float64bits(v)) {
+			return
+		}
+	}
+}
+
+// Value returns the current value (sampling the callback for a func
+// gauge).
+func (g *Gauge) Value() float64 {
+	if g.fn != nil {
+		return g.fn()
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// Histogram is a fixed-bucket distribution. Bounds are upper bounds in
+// ascending order; an implicit +Inf bucket catches the overflow. Observe
+// is two atomic adds — no lock, no allocation — so it is safe on request
+// paths.
+type Histogram struct {
+	bounds  []float64
+	buckets []atomic.Int64 // per-bucket (non-cumulative), len(bounds)+1
+	sumBits atomic.Uint64
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	// Bucket count is small (≤ ~20); a linear scan beats binary search
+	// on branch prediction and stays allocation-free.
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.buckets[i].Add(1)
+	for {
+		old := h.sumBits.Load()
+		s := math.Float64frombits(old) + v
+		if h.sumBits.CompareAndSwap(old, math.Float64bits(s)) {
+			return
+		}
+	}
+}
+
+// ObserveSince records the seconds elapsed since start.
+func (h *Histogram) ObserveSince(start time.Time) { h.Observe(time.Since(start).Seconds()) }
+
+// Count returns the total number of observations. It is derived from the
+// bucket counts, so a snapshot's cumulative buckets and count always
+// agree even under concurrent Observes.
+func (h *Histogram) Count() int64 {
+	var n int64
+	for i := range h.buckets {
+		n += h.buckets[i].Load()
+	}
+	return n
+}
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
+
+// DefBuckets is the default latency histogram: sub-millisecond up to a
+// minute, roughly logarithmic, in seconds.
+var DefBuckets = []float64{
+	0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
+	0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30, 60,
+}
+
+// series is one labeled instance of a family.
+type series struct {
+	labels []Label
+	sig    string
+
+	counter *Counter
+	gauge   *Gauge
+	hist    *Histogram
+}
+
+// family groups every series sharing a metric name.
+type family struct {
+	name, help, kind string
+	bounds           []float64 // histogram families only
+	series           map[string]*series
+}
+
+// Registry holds the metric families. The zero value is not usable; call
+// NewRegistry.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: map[string]*family{}}
+}
+
+// sigOf renders a label set's canonical signature (sorted by key).
+func sigOf(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	ls := append([]Label(nil), labels...)
+	sort.Slice(ls, func(i, j int) bool { return ls[i].Key < ls[j].Key })
+	sig := ""
+	for _, l := range ls {
+		sig += l.Key + "\x00" + l.Value + "\x00"
+	}
+	return sig
+}
+
+// register finds or creates the series for (name, labels), enforcing kind
+// consistency across a family. Registration is idempotent: asking for the
+// same series twice returns the same handle, so packages can re-derive
+// handles instead of threading them around.
+func (r *Registry) register(name, help, kind string, bounds []float64, labels []Label) *series {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.families[name]
+	if f == nil {
+		f = &family{name: name, help: help, kind: kind, bounds: bounds, series: map[string]*series{}}
+		r.families[name] = f
+	} else if f.kind != kind {
+		panic(fmt.Sprintf("telemetry: metric %q registered as %s and %s", name, f.kind, kind))
+	}
+	sig := sigOf(labels)
+	s := f.series[sig]
+	if s == nil {
+		ls := append([]Label(nil), labels...)
+		sort.Slice(ls, func(i, j int) bool { return ls[i].Key < ls[j].Key })
+		s = &series{labels: ls, sig: sig}
+		switch kind {
+		case kindCounter:
+			s.counter = &Counter{}
+		case kindGauge:
+			s.gauge = &Gauge{}
+		case kindHistogram:
+			b := append([]float64(nil), f.bounds...)
+			s.hist = &Histogram{bounds: b, buckets: make([]atomic.Int64, len(b)+1)}
+		}
+		f.series[sig] = s
+	}
+	return s
+}
+
+// Counter registers (or finds) a counter series.
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
+	return r.register(name, help, kindCounter, nil, labels).counter
+}
+
+// Gauge registers (or finds) a settable gauge series.
+func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
+	return r.register(name, help, kindGauge, nil, labels).gauge
+}
+
+// GaugeFunc registers a gauge sampled from fn at snapshot time — for
+// values that already live elsewhere (queue depth under the server's
+// lock, Go runtime stats). fn must be safe to call from any goroutine.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64, labels ...Label) {
+	r.register(name, help, kindGauge, nil, labels).gauge.fn = fn
+}
+
+// Histogram registers (or finds) a histogram series. The first
+// registration of a family fixes its buckets; nil means DefBuckets.
+func (r *Registry) Histogram(name, help string, bounds []float64, labels ...Label) *Histogram {
+	if bounds == nil {
+		bounds = DefBuckets
+	}
+	return r.register(name, help, kindHistogram, bounds, labels).hist
+}
+
+// SeriesSnapshot is one series' point-in-time state.
+type SeriesSnapshot struct {
+	Labels []Label
+	// Value holds counter and gauge readings.
+	Value float64
+	// Histogram fields: cumulative counts per bound (+Inf last), total
+	// count and sum. Buckets is nil for non-histograms.
+	Buckets []int64
+	Count   int64
+	Sum     float64
+}
+
+// FamilySnapshot is one family's point-in-time state.
+type FamilySnapshot struct {
+	Name, Help, Kind string
+	Bounds           []float64
+	Series           []SeriesSnapshot
+}
+
+// Snapshot captures every family in deterministic order: families sorted
+// by name, series by canonical label signature. Values are read once per
+// series, so a snapshot is internally consistent per metric and stable
+// to render.
+func (r *Registry) Snapshot() []FamilySnapshot {
+	r.mu.Lock()
+	fams := make([]*family, 0, len(r.families))
+	for _, f := range r.families {
+		fams = append(fams, f)
+	}
+	r.mu.Unlock()
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+
+	out := make([]FamilySnapshot, 0, len(fams))
+	for _, f := range fams {
+		r.mu.Lock()
+		sers := make([]*series, 0, len(f.series))
+		for _, s := range f.series {
+			sers = append(sers, s)
+		}
+		r.mu.Unlock()
+		sort.Slice(sers, func(i, j int) bool { return sers[i].sig < sers[j].sig })
+
+		fs := FamilySnapshot{Name: f.name, Help: f.help, Kind: f.kind, Bounds: f.bounds}
+		for _, s := range sers {
+			ss := SeriesSnapshot{Labels: s.labels}
+			switch {
+			case s.counter != nil:
+				ss.Value = float64(s.counter.Value())
+			case s.gauge != nil:
+				ss.Value = s.gauge.Value()
+			case s.hist != nil:
+				ss.Buckets = make([]int64, len(s.hist.buckets))
+				var cum int64
+				for i := range s.hist.buckets {
+					cum += s.hist.buckets[i].Load()
+					ss.Buckets[i] = cum
+				}
+				ss.Count = cum
+				ss.Sum = s.hist.Sum()
+			}
+			fs.Series = append(fs.Series, ss)
+		}
+		out = append(out, fs)
+	}
+	return out
+}

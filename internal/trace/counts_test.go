@@ -1,0 +1,97 @@
+package trace
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestEventCountsPerSubsystem(t *testing.T) {
+	var counts EventCounts
+	col := NewCollector()
+	col.SetCounts(&counts)
+	tr := col.Tracer("m", PkgAll)
+
+	tr.Emit(E("hier", "fill", 1))
+	tr.Emit(E("hier", "evict", 2))
+	tr.Emit(E("sim", "spawn", 3))
+	tr.Emit(E("channel", "tx-bit", 4))
+
+	got := counts.Counts()
+	want := map[string]int64{"hier": 2, "sim": 1, "fault": 0, "channel": 1}
+	for k, v := range want {
+		if got[k] != v {
+			t.Fatalf("counts[%s] = %d, want %d (all: %v)", k, got[k], v, got)
+		}
+	}
+	if counts.Total() != 4 {
+		t.Fatalf("total = %d, want 4", counts.Total())
+	}
+	// Buffering still happened alongside counting.
+	if n := col.TotalEvents(); n != 4 {
+		t.Fatalf("buffered events = %d, want 4", n)
+	}
+}
+
+// TestCountingCollectorStoresNothing checks the counting-only mode: the
+// sink sees every event, the buffers stay empty, and masks still filter.
+func TestCountingCollectorStoresNothing(t *testing.T) {
+	var counts EventCounts
+	col := NewCountingCollector(&counts)
+	tr := col.Tracer("m", PkgHier|PkgSim)
+
+	if !tr.On(PkgHier) || tr.On(PkgChannel) {
+		t.Fatalf("mask gating broken: On(hier)=%v On(channel)=%v", tr.On(PkgHier), tr.On(PkgChannel))
+	}
+	tr.Emit(E("hier", "fill", 1))
+	tr.Emit(E("channel", "tx-bit", 2)) // masked out: neither counted nor stored
+	tr.Emit(E("sim", "wait", 3))
+
+	if counts.Total() != 2 {
+		t.Fatalf("total = %d, want 2 (masked event must not count)", counts.Total())
+	}
+	if n := col.TotalEvents(); n != 0 {
+		t.Fatalf("counting collector buffered %d events, want 0", n)
+	}
+	// Labels are still registered (and still deduplicated).
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("duplicate label did not panic in counting mode")
+		}
+	}()
+	col.Tracer("m", PkgAll)
+}
+
+func TestNilEventCountsSafe(t *testing.T) {
+	var c *EventCounts
+	if c.Counts() != nil {
+		t.Fatalf("nil Counts() should be nil")
+	}
+	if c.Total() != 0 {
+		t.Fatalf("nil Total() should be 0")
+	}
+}
+
+// TestEventCountsConcurrent exercises the sink from parallel emitters —
+// the -race gate for the sampling path observers use mid-run.
+func TestEventCountsConcurrent(t *testing.T) {
+	var counts EventCounts
+	col := NewCountingCollector(&counts)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			tr := col.Tracer(string(rune('a'+w)), PkgAll)
+			for i := 0; i < 500; i++ {
+				tr.Emit(E("hier", "fill", int64(i)))
+				if i%50 == 0 {
+					_ = counts.Counts()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := counts.Counts()["hier"]; got != 2000 {
+		t.Fatalf("hier = %d, want 2000", got)
+	}
+}

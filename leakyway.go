@@ -394,6 +394,11 @@ var (
 // Experiments (every paper table and figure).
 //
 
+// EngineVersion identifies the simulation engine build. It is part of
+// the daemon's result-cache key (bumping it invalidates every cached
+// result) and is what the CLI -version flags and /v1/healthz report.
+const EngineVersion = experiments.EngineVersion
+
 // Experiment is one registered table/figure reproduction.
 type Experiment = experiments.Experiment
 
