@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: all build vet fmt-check staticcheck test race fuzz-smoke trace-smoke template-validate daemon-smoke verify bench bench-jobs bench-check bench-baseline cover clean
+.PHONY: all build vet fmt-check staticcheck test race fuzz-smoke trace-smoke template-validate daemon-smoke chaos-smoke verify bench bench-jobs bench-check bench-baseline cover clean
 
 all: verify
 
@@ -72,7 +72,16 @@ daemon-smoke:
 	$(GO) build -o /tmp/leakywayd-smoke ./cmd/leakywayd
 	$(GO) run ./cmd/daemonsmoke -bin /tmp/leakywayd-smoke
 
-verify: build vet fmt-check staticcheck test race fuzz-smoke trace-smoke template-validate daemon-smoke
+# Disk-chaos gate: the same daemon binary under injected journal-fsync
+# failure and a tiny store quota — degraded mode must engage (503 +
+# Retry-After, healthz degraded(reason)) and clear once the fault burns
+# out, quota eviction must hold the store under budget with every job
+# completing, and the daemon must still drain cleanly.
+chaos-smoke:
+	$(GO) build -o /tmp/leakywayd-smoke ./cmd/leakywayd
+	$(GO) run ./cmd/daemonsmoke -bin /tmp/leakywayd-smoke -chaos
+
+verify: build vet fmt-check staticcheck test race fuzz-smoke trace-smoke template-validate daemon-smoke chaos-smoke
 
 # Full benchmark sweep (quick-mode trial counts).
 bench:

@@ -35,6 +35,7 @@ import (
 var (
 	bin      = flag.String("bin", "", "path to the leakywayd binary (required)")
 	template = flag.String("template", "templates/fig6.yaml", "scenario template to submit")
+	chaos    = flag.Bool("chaos", false, "run the disk-chaos phase instead: degraded-mode entry/exit under injected fsync failure plus quota-driven eviction")
 )
 
 func main() {
@@ -45,6 +46,12 @@ func main() {
 	tmpl, err := os.ReadFile(*template)
 	if err != nil {
 		fatalf("template: %v", err)
+	}
+
+	if *chaos {
+		phaseChaos(string(tmpl))
+		fmt.Println("chaos-smoke: degraded-mode entry/exit, quota eviction and post-outage drain all verified")
+		return
 	}
 
 	m1 := phaseDrain(string(tmpl))
@@ -244,6 +251,135 @@ func (d *daemon) scrapeMetrics(wantFamily string) {
 	}
 	if !strings.Contains(string(data), wantFamily) {
 		fatalf("metricsz: no %s family in scrape:\n%s", wantFamily, data)
+	}
+}
+
+// submitRaw posts one job and returns the HTTP status, the Retry-After
+// header and the body, without fataling on any status.
+func (d *daemon) submitRaw(tmpl string, seed int64) (int, string, string) {
+	body, _ := json.Marshal(map[string]any{
+		"template": tmpl,
+		"filename": "fig6.yaml",
+		"seed":     seed,
+		"quick":    true,
+	})
+	resp, err := http.Post(d.base+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		fatalf("submit: %v", err)
+	}
+	defer resp.Body.Close()
+	data, _ := io.ReadAll(resp.Body)
+	return resp.StatusCode, resp.Header.Get("Retry-After"), string(data)
+}
+
+// healthz returns the endpoint's HTTP status and decoded body.
+func (d *daemon) healthz() (int, map[string]any) {
+	resp, err := http.Get(d.base + "/v1/healthz")
+	if err != nil {
+		fatalf("healthz: %v", err)
+	}
+	defer resp.Body.Close()
+	var body map[string]any
+	json.NewDecoder(resp.Body).Decode(&body)
+	return resp.StatusCode, body
+}
+
+// metricValue scrapes /metricsz and returns one unlabeled sample's value.
+func (d *daemon) metricValue(name string) float64 {
+	resp, err := http.Get(d.base + "/metricsz")
+	if err != nil {
+		fatalf("metricsz: %v", err)
+	}
+	defer resp.Body.Close()
+	data, _ := io.ReadAll(resp.Body)
+	for _, line := range strings.Split(string(data), "\n") {
+		if v, ok := strings.CutPrefix(line, name+" "); ok {
+			var f float64
+			fmt.Sscanf(v, "%g", &f)
+			return f
+		}
+	}
+	fatalf("metricsz: no %s sample in scrape", name)
+	return 0
+}
+
+// phaseChaos drives the daemon through a disk outage and a store-quota
+// squeeze: the injected journal-fsync failure must flip it into degraded
+// mode (503 + Retry-After on admissions, healthz reporting the reason)
+// while artifact reads keep working; once the fault burns out, the probe
+// must restore admissions; unique-seed churn against a tiny quota must
+// evict old entries while every job still completes; and the daemon must
+// still drain cleanly on SIGTERM.
+func phaseChaos(tmpl string) {
+	dir, err := os.MkdirTemp("", "leakywayd-chaos-")
+	if err != nil {
+		fatalf("tempdir: %v", err)
+	}
+	defer os.RemoveAll(dir)
+
+	d := startDaemon(filepath.Join(dir, "data"),
+		"-chaos-fsync-fail", "40",
+		"-store-quota-bytes", "16384",
+		"-probe-interval", "100ms",
+	)
+	defer d.cmd.Process.Kill()
+
+	// The first admission hits the dead fsync: the accept cannot be made
+	// durable, so the daemon must refuse it and enter degraded mode.
+	status, retryAfter, body := d.submitRaw(tmpl, 1)
+	if status != http.StatusServiceUnavailable {
+		fatalf("submit during fsync outage: status %d, want 503: %s", status, body)
+	}
+	if retryAfter == "" {
+		fatalf("degraded 503 carries no Retry-After header")
+	}
+	hs, hb := d.healthz()
+	if hs != http.StatusServiceUnavailable || hb["status"] != "degraded" {
+		fatalf("healthz during outage: %d %v, want 503/degraded", hs, hb)
+	}
+	if r, _ := hb["reason"].(string); r == "" {
+		fatalf("degraded healthz reports no reason: %v", hb)
+	}
+	fmt.Println("chaos-smoke: fsync outage refused admission with 503 + Retry-After, healthz degraded(reason)")
+
+	// The fault burns out after a fixed number of fsyncs; the probe loop
+	// must notice and resume admissions.
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		if hs, hb := d.healthz(); hs == http.StatusOK && hb["status"] == "ok" {
+			break
+		}
+		if time.Now().After(deadline) {
+			fatalf("daemon never exited degraded mode after the fault cleared")
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	if got := d.metricValue("leakywayd_degraded_entered_total"); got < 1 {
+		fatalf("degraded_entered_total %.0f after an outage, want >= 1", got)
+	}
+	fmt.Println("chaos-smoke: probe cleared degraded mode once the fault burned out")
+
+	// Unique-seed churn against the 16KiB quota: every job completes and
+	// serves its artifacts, while older entries are evicted to hold the
+	// quota.
+	for i := int64(0); i < 12; i++ {
+		v, _ := d.submit(tmpl, 100+i, http.StatusAccepted)
+		d.awaitDone(v.ID)
+		d.artifact(v.ID, "metrics")
+	}
+	if got := d.metricValue("leakywayd_store_evictions_total"); got < 1 {
+		fatalf("12 unique jobs under a 16KiB quota evicted nothing")
+	}
+	if got := d.metricValue("leakywayd_store_bytes"); got > 16384 {
+		fatalf("store at %.0f bytes, quota 16384", got)
+	}
+	fmt.Println("chaos-smoke: quota-driven eviction kept the store under budget with all jobs completing")
+
+	if err := d.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		fatalf("SIGTERM: %v", err)
+	}
+	if code := d.wait(); code != 0 {
+		fatalf("daemon exited %d after SIGTERM, want 0", code)
 	}
 }
 

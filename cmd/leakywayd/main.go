@@ -26,6 +26,7 @@ import (
 	"time"
 
 	"leakyway"
+	"leakyway/internal/iofault"
 	"leakyway/internal/service"
 )
 
@@ -62,6 +63,12 @@ func run() error {
 		stall      = flag.Duration("stall", 0, "delay each attempt before simulating (crash-recovery testing)")
 		logLevel   = flag.String("log-level", "info", "minimum log level: debug, info, warn or error")
 		version    = flag.Bool("version", false, "print the engine version and exit")
+
+		storeQuota   = flag.Int64("store-quota-bytes", 0, "result-store byte quota; old results are evicted LRU past it (0 = unlimited)")
+		storeEntries = flag.Int("store-max-entries", 0, "result-store entry cap, evicted LRU (0 = unlimited)")
+		walRotate    = flag.Int64("wal-rotate-bytes", 0, "journal size that triggers online compaction (0 = default 4MiB, negative disables)")
+		probeEvery   = flag.Duration("probe-interval", 0, "disk-probe cadence while degraded (0 = default 1s)")
+		chaosFsync   = flag.Int("chaos-fsync-fail", 0, "FAULT INJECTION (testing): fail this many journal fsyncs after startup, then heal")
 	)
 	flag.Parse()
 	if *version {
@@ -81,17 +88,36 @@ func run() error {
 	if maxRetries == 0 {
 		maxRetries = -1 // Config: negative disables retries, 0 means default
 	}
-	srv, err := service.New(service.Config{
-		DataDir:    *dataDir,
-		Workers:    *workers,
-		QueueCap:   *queueCap,
-		JobTimeout: *jobTimeout,
-		MaxRetries: maxRetries,
-		Stall:      *stall,
-		Logger:     logger,
-	})
+	cfg := service.Config{
+		DataDir:         *dataDir,
+		Workers:         *workers,
+		QueueCap:        *queueCap,
+		JobTimeout:      *jobTimeout,
+		MaxRetries:      maxRetries,
+		Stall:           *stall,
+		Logger:          logger,
+		StoreQuotaBytes: *storeQuota,
+		StoreMaxEntries: *storeEntries,
+		WALRotateBytes:  *walRotate,
+		ProbeInterval:   *probeEvery,
+	}
+	// The chaos hook arms only after startup, so New builds its journal
+	// and store cleanly and the injected outage hits live traffic — the
+	// window the degraded-mode machinery exists for.
+	var chaosInj *iofault.Injector
+	if *chaosFsync > 0 {
+		chaosInj = iofault.NewInjector(iofault.OS(), 1,
+			iofault.FailFirst("journal.jsonl", iofault.OpSync, *chaosFsync, iofault.ErrIO))
+		chaosInj.SetActive(false)
+		cfg.FS = chaosInj
+	}
+	srv, err := service.New(cfg)
 	if err != nil {
 		return err
+	}
+	if chaosInj != nil {
+		chaosInj.SetActive(true)
+		logger.Warn("chaos fault injection armed", "fsync_failures", *chaosFsync)
 	}
 
 	ln, err := net.Listen("tcp", *addr)

@@ -48,6 +48,9 @@ var (
 	workers  = flag.Int("workers", 2, "worker pool size (self-hosted only)")
 	queueCap = flag.Int("queue", 64, "queue capacity (self-hosted only)")
 	fake     = flag.Duration("fake", 5*time.Millisecond, "synthetic per-job runtime (self-hosted only; 0 runs the real engine)")
+
+	churn      = flag.Int64("store-churn", 0, "churn mode: complete this many unique-seed jobs against a quota-bound store and report eviction throughput (replaces the ramp)")
+	storeQuota = flag.Int64("store-quota", 64<<10, "result-store byte quota (self-hosted churn mode)")
 )
 
 func main() {
@@ -66,6 +69,11 @@ func main() {
 		var stop func()
 		base, stop = selfHost()
 		defer stop()
+	}
+
+	if *churn > 0 {
+		runChurn(base, string(tmpl), ramp[0], *churn)
+		return
 	}
 
 	fmt.Printf("loadgen: target %s, template %s, %v per level\n\n", base, *template, *duration)
@@ -118,6 +126,9 @@ func selfHost() (string, func()) {
 		QueueCap: *queueCap,
 		// Benchmark runs don't want operational chatter on stderr.
 		Logger: slog.New(slog.NewTextHandler(io.Discard, nil)),
+	}
+	if *churn > 0 {
+		cfg.StoreQuotaBytes = *storeQuota
 	}
 	if *fake > 0 {
 		d := *fake
@@ -244,6 +255,95 @@ func runLevel(base, tmpl string, conc int, d time.Duration) levelResult {
 	r.elapsed = time.Since(start)
 	sort.Slice(r.latencies, func(i, j int) bool { return r.latencies[i] < r.latencies[j] })
 	return r
+}
+
+// runChurn is the store-governance benchmark: conc goroutines submit
+// unique-seed jobs (every one a store miss) until total completions
+// reach the target, against a daemon whose store quota forces steady
+// eviction. It then reports eviction throughput and the final store
+// occupancy from the daemon's own /metricsz, plus a hard check that the
+// quota actually held.
+func runChurn(base, tmpl string, conc int, total int64) {
+	fmt.Printf("loadgen: store-churn %d unique jobs at concurrency %d, quota %d bytes\n",
+		total, conc, *storeQuota)
+	start := time.Now()
+	var accepted atomic.Int64
+
+	var wg sync.WaitGroup
+	for g := 0; g < conc; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for accepted.Load() < total {
+				seed := seedCounter.Add(1)
+				body, _ := json.Marshal(map[string]any{
+					"template": tmpl,
+					"filename": "loadgen.yaml",
+					"seed":     seed,
+					"quick":    true,
+				})
+				resp, err := http.Post(base+"/v1/jobs", "application/json", bytes.NewReader(body))
+				if err != nil {
+					fatalf("churn submit: %v", err)
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				switch resp.StatusCode {
+				case http.StatusAccepted, http.StatusOK:
+					accepted.Add(1)
+				case http.StatusTooManyRequests, http.StatusServiceUnavailable:
+					time.Sleep(5 * time.Millisecond) // backpressure: let workers drain
+				default:
+					fatalf("churn submit: unexpected status %d", resp.StatusCode)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	// Admissions done; wait for the queue to drain so evictions settle.
+	for {
+		if metricValue(base, "leakywayd_queue_depth") == 0 &&
+			metricValue(base, "leakywayd_workers_busy") == 0 {
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	elapsed := time.Since(start)
+
+	evictions := metricValue(base, "leakywayd_store_evictions_total")
+	evictedBytes := metricValue(base, "leakywayd_store_evicted_bytes_total")
+	storeBytes := metricValue(base, "leakywayd_store_bytes")
+	entries := metricValue(base, "leakywayd_store_entries")
+	fmt.Printf("churn: %d jobs in %s (%.1f jobs/s)\n",
+		accepted.Load(), elapsed.Round(time.Millisecond), float64(accepted.Load())/elapsed.Seconds())
+	fmt.Printf("churn: %.0f evictions (%.1f/s), %.0f bytes reclaimed\n",
+		evictions, evictions/elapsed.Seconds(), evictedBytes)
+	fmt.Printf("churn: store settled at %.0f bytes across %.0f entries (quota %d)\n",
+		storeBytes, entries, *storeQuota)
+	if int64(storeBytes) > *storeQuota {
+		fatalf("store ended at %.0f bytes, over the %d-byte quota", storeBytes, *storeQuota)
+	}
+	if evictions == 0 {
+		fmt.Println("churn: warning — no evictions; raise -store-churn or shrink -store-quota")
+	}
+}
+
+// metricValue scrapes one unlabeled sample's value from /metricsz.
+func metricValue(base, name string) float64 {
+	resp, err := http.Get(base + "/metricsz")
+	if err != nil {
+		fatalf("metricsz: %v", err)
+	}
+	defer resp.Body.Close()
+	data, _ := io.ReadAll(resp.Body)
+	for _, line := range strings.Split(string(data), "\n") {
+		if v, ok := strings.CutPrefix(line, name+" "); ok {
+			f, _ := strconv.ParseFloat(strings.TrimSpace(v), 64)
+			return f
+		}
+	}
+	return 0
 }
 
 // reportSaturation names the first level where the daemon pushed back

@@ -172,6 +172,13 @@ func (s *Server) handleArtifact(w http.ResponseWriter, r *http.Request) {
 	}
 	data, err := s.store.Artifact(snap.Key, name)
 	if err != nil {
+		// Distinguish "this run never recorded that artifact" from "the
+		// whole entry was evicted under the store quota" — the latter is
+		// recomputable by resubmitting the same template.
+		if !s.store.Has(snap.Key) {
+			writeError(w, http.StatusGone, "result for job %s was evicted under the store quota; resubmit to recompute", id)
+			return
+		}
 		writeError(w, http.StatusNotFound, "artifact %q not recorded for job %s", name, id)
 		return
 	}
@@ -180,10 +187,26 @@ func (s *Server) handleArtifact(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	body := map[string]string{"status": "ok", "engine": experiments.EngineVersion}
+	deg, reason := s.DegradedState()
+	s.mu.Lock()
+	queued, jobs, draining := s.queued, len(s.jobs), s.draining
+	s.mu.Unlock()
+	body := map[string]any{
+		"status":       "ok",
+		"engine":       experiments.EngineVersion,
+		"queue_depth":  queued,
+		"workers":      s.cfg.Workers,
+		"workers_busy": int(s.met.workersBusy.Value()),
+		"jobs":         jobs,
+	}
 	status := http.StatusOK
-	if s.Draining() {
+	switch {
+	case draining:
 		body["status"] = "draining"
+		status = http.StatusServiceUnavailable
+	case deg:
+		body["status"] = "degraded"
+		body["reason"] = reason
 		status = http.StatusServiceUnavailable
 	}
 	writeJSON(w, status, body)

@@ -2,12 +2,14 @@ package service
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"os"
 	"path/filepath"
 	"time"
 
+	"leakyway/internal/iofault"
 	"leakyway/internal/telemetry"
 )
 
@@ -20,6 +22,15 @@ import (
 // Format: JSONL, one entry per line. A torn final line (the write the
 // crash interrupted) is skipped on replay — it can only be an entry whose
 // effect was never acknowledged.
+//
+// The journal is hardened against a sick disk: fsync failures are
+// retried a bounded number of times with exponential backoff (transient
+// stalls are absorbed; persistent failure surfaces so the server can
+// degrade), a torn append is repaired by truncating back to the last
+// known-good size so later entries never land mid-line, and the file is
+// size-capped — when it outgrows its rotation threshold the server
+// rewrites it online to exactly the live state, the same compaction a
+// restart performs.
 
 // Journal ops.
 const (
@@ -28,6 +39,7 @@ const (
 	opFail   = "fail"   // retries exhausted: Err
 	opCancel = "cancel" // canceled by the client
 	opClean  = "clean"  // clean shutdown marker (drain completed)
+	opProbe  = "probe"  // degraded-mode disk probe no-op; ignored on replay
 )
 
 type journalEntry struct {
@@ -38,23 +50,57 @@ type journalEntry struct {
 	Sub *Submission `json:"sub,omitempty"`
 }
 
+// journalConfig parameterizes durability hardening.
+type journalConfig struct {
+	// rotateBytes is the size past which the server should compact the
+	// journal online (see NeedsRotation).
+	rotateBytes int64
+	// syncRetries bounds fsync retry attempts per append; retryBase is
+	// the backoff base between them.
+	syncRetries int
+	retryBase   time.Duration
+}
+
 // Journal appends entries to a file, fsyncing each append. Methods are
 // not goroutine-safe; the server serializes access under its own lock.
 type Journal struct {
-	f    *os.File
+	fs   iofault.FS
+	f    iofault.File
 	path string
+	cfg  journalConfig
+	// size is the known-good byte length of the file: every byte below
+	// it is a complete entry line. A failed write leaves bytes above it
+	// that repairTornTail truncates away before the next append.
+	size int64
+	// wedged is set when a torn append could not be truncated away; the
+	// next Append retries the repair before writing.
+	wedged bool
+	// detached is set when a rotation replaced the file on disk but the
+	// fresh handle could not be opened: the old handle no longer backs
+	// path, so appending through it would silently lose entries. Every
+	// append fails until restart reopens the journal.
+	detached bool
+	// compactedSize is the file size right after the last compaction;
+	// rotation only fires once the live state has meaningfully grown
+	// past it, so a live state bigger than rotateBytes cannot thrash.
+	compactedSize int64
+
 	// fsyncHist, when set, observes each Append's write+fsync latency —
 	// the daemon wires it to leakywayd_wal_fsync_seconds. Fsync stalls
 	// are the journal's dominant cost, so this is the histogram to watch
 	// when admission latency climbs.
 	fsyncHist *telemetry.Histogram
+	// syncRetriesCount and rotations, when set, count absorbed fsync
+	// retries and online compactions.
+	syncRetriesCount *telemetry.Counter
+	rotations        *telemetry.Counter
 }
 
 // replayJournal reads every parseable entry. Unparseable lines are
 // tolerated only at the tail (a torn final write); garbage earlier in the
 // file is corruption and fails the replay.
-func replayJournal(path string) ([]journalEntry, error) {
-	f, err := os.Open(path)
+func replayJournal(fsys iofault.FS, path string) ([]journalEntry, error) {
+	f, err := fsys.Open(path)
 	if os.IsNotExist(err) {
 		return nil, nil
 	}
@@ -87,52 +133,80 @@ func replayJournal(path string) ([]journalEntry, error) {
 	return entries, nil
 }
 
-// rewriteJournal writes a compacted journal (temp file + fsync + rename)
-// and opens it for appending. Compaction happens at startup, after
-// replay: the new journal carries exactly the live state, so the file
-// cannot grow without bound across restarts.
-func rewriteJournal(path string, entries []journalEntry) (*Journal, error) {
-	tmp := path + ".tmp"
-	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
-	if err != nil {
-		return nil, fmt.Errorf("journal: %w", err)
-	}
-	w := bufio.NewWriter(f)
+// marshalEntries renders entries as JSONL bytes.
+func marshalEntries(entries []journalEntry) ([]byte, error) {
+	var buf bytes.Buffer
 	for _, e := range entries {
 		b, err := json.Marshal(&e)
 		if err != nil {
-			f.Close()
-			return nil, fmt.Errorf("journal: %w", err)
+			return nil, err
 		}
-		w.Write(b)
-		w.WriteByte('\n')
+		buf.Write(b)
+		buf.WriteByte('\n')
 	}
-	if err := w.Flush(); err != nil {
-		f.Close()
-		return nil, fmt.Errorf("journal: %w", err)
-	}
-	if err := f.Sync(); err != nil {
-		f.Close()
-		return nil, fmt.Errorf("journal: %w", err)
-	}
-	if err := f.Close(); err != nil {
-		return nil, fmt.Errorf("journal: %w", err)
-	}
-	if err := os.Rename(tmp, path); err != nil {
-		return nil, fmt.Errorf("journal: %w", err)
-	}
-	syncDir(filepath.Dir(path))
-	af, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
-	if err != nil {
-		return nil, fmt.Errorf("journal: %w", err)
-	}
-	return &Journal{f: af, path: path}, nil
+	return buf.Bytes(), nil
 }
 
-// Append writes one entry and fsyncs. The caller must not consider the
-// entry's effect durable (and must not ack a client) until Append
-// returns nil.
+// writeCompacted writes a compacted journal (temp file + fsync + rename)
+// and reopens it for appending, returning the open handle and its size.
+func writeCompacted(fsys iofault.FS, path string, entries []journalEntry) (iofault.File, int64, error) {
+	data, err := marshalEntries(entries)
+	if err != nil {
+		return nil, 0, fmt.Errorf("journal: %w", err)
+	}
+	tmp := path + ".tmp"
+	if err := writeSynced(fsys, tmp, data); err != nil {
+		return nil, 0, fmt.Errorf("journal: %w", err)
+	}
+	if err := fsys.Rename(tmp, path); err != nil {
+		return nil, 0, fmt.Errorf("journal: %w", err)
+	}
+	syncDir(fsys, filepath.Dir(path))
+	af, err := fsys.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, 0, fmt.Errorf("journal: %w", err)
+	}
+	return af, int64(len(data)), nil
+}
+
+// rewriteJournal writes a compacted journal and opens it for appending.
+// Compaction happens at startup, after replay: the new journal carries
+// exactly the live state, so the file cannot grow without bound across
+// restarts.
+func rewriteJournal(fsys iofault.FS, path string, entries []journalEntry, cfg journalConfig) (*Journal, error) {
+	f, size, err := writeCompacted(fsys, path, entries)
+	if err != nil {
+		return nil, err
+	}
+	return &Journal{fs: fsys, f: f, path: path, cfg: cfg, size: size, compactedSize: size}, nil
+}
+
+// repairTornTail truncates the file back to the last known-good size
+// after a failed append left a partial line. Until the repair succeeds
+// the journal refuses appends — writing after a torn line would corrupt
+// the middle of the file, which replay correctly refuses to trust.
+func (j *Journal) repairTornTail() error {
+	if err := j.f.Truncate(j.size); err != nil {
+		j.wedged = true
+		return fmt.Errorf("journal: torn append not repairable: %w", err)
+	}
+	j.wedged = false
+	return nil
+}
+
+// Append writes one entry and fsyncs, absorbing up to cfg.syncRetries
+// transient fsync failures with exponential backoff. The caller must not
+// consider the entry's effect durable (and must not ack a client) until
+// Append returns nil.
 func (j *Journal) Append(e journalEntry) error {
+	if j.detached {
+		return fmt.Errorf("journal: detached after failed rotation; restart required")
+	}
+	if j.wedged {
+		if err := j.repairTornTail(); err != nil {
+			return err
+		}
+	}
 	b, err := json.Marshal(&e)
 	if err != nil {
 		return fmt.Errorf("journal: %w", err)
@@ -140,10 +214,30 @@ func (j *Journal) Append(e journalEntry) error {
 	b = append(b, '\n')
 	start := time.Now()
 	if _, err := j.f.Write(b); err != nil {
+		// The write may have landed partially; truncate the torn bytes
+		// so the next append starts on a clean line boundary.
+		if rerr := j.repairTornTail(); rerr != nil {
+			return fmt.Errorf("journal: %w (and %v)", err, rerr)
+		}
 		return fmt.Errorf("journal: %w", err)
 	}
-	if err := j.f.Sync(); err != nil {
-		return fmt.Errorf("journal: %w", err)
+	j.size += int64(len(b))
+	backoff := j.cfg.retryBase
+	for attempt := 0; ; attempt++ {
+		err = j.f.Sync()
+		if err == nil {
+			break
+		}
+		if attempt >= j.cfg.syncRetries {
+			// The entry is written but not durably synced. It is a valid
+			// line, so the journal stays consistent; the caller escalates.
+			return fmt.Errorf("journal: %w", err)
+		}
+		if j.syncRetriesCount != nil {
+			j.syncRetriesCount.Inc()
+		}
+		time.Sleep(backoff)
+		backoff *= 2
 	}
 	if j.fsyncHist != nil {
 		j.fsyncHist.ObserveSince(start)
@@ -151,13 +245,61 @@ func (j *Journal) Append(e journalEntry) error {
 	return nil
 }
 
+// NeedsRotation reports whether the journal has outgrown its rotation
+// threshold. The double-size guard keeps a live state that is itself
+// larger than rotateBytes from forcing a full rewrite on every append.
+func (j *Journal) NeedsRotation() bool {
+	if j.cfg.rotateBytes <= 0 {
+		return false
+	}
+	return j.size >= j.cfg.rotateBytes && j.size >= 2*j.compactedSize
+}
+
+// Rotate compacts the journal online: the live entries are written as a
+// fresh segment (temp + fsync + rename) that atomically replaces the
+// grown one, and appending continues on the new segment. Failure before
+// the rename leaves the old segment and handle fully valid; failure
+// after it (reopen failed) detaches the journal, which refuses further
+// appends rather than losing them to an unlinked inode.
+func (j *Journal) Rotate(entries []journalEntry) error {
+	data, err := marshalEntries(entries)
+	if err != nil {
+		return fmt.Errorf("journal: %w", err)
+	}
+	tmp := j.path + ".tmp"
+	if err := writeSynced(j.fs, tmp, data); err != nil {
+		return fmt.Errorf("journal: rotate: %w", err)
+	}
+	if err := j.fs.Rename(tmp, j.path); err != nil {
+		return fmt.Errorf("journal: rotate: %w", err)
+	}
+	syncDir(j.fs, filepath.Dir(j.path))
+	nf, err := j.fs.OpenFile(j.path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		j.detached = true
+		return fmt.Errorf("journal: rotate reopen: %w", err)
+	}
+	j.f.Close()
+	j.f = nf
+	j.size = int64(len(data))
+	j.compactedSize = j.size
+	j.wedged = false
+	if j.rotations != nil {
+		j.rotations.Inc()
+	}
+	return nil
+}
+
+// Size returns the journal file's current byte length (tests).
+func (j *Journal) Size() int64 { return j.size }
+
 // Close closes the journal file.
 func (j *Journal) Close() error { return j.f.Close() }
 
 // syncDir fsyncs a directory so a rename within it is durable;
 // best-effort, as not every filesystem supports it.
-func syncDir(dir string) {
-	if d, err := os.Open(dir); err == nil {
+func syncDir(fsys iofault.FS, dir string) {
+	if d, err := fsys.Open(dir); err == nil {
 		d.Sync()
 		d.Close()
 	}

@@ -22,6 +22,8 @@ type serverMetrics struct {
 	retries   *telemetry.Counter
 	panics    *telemetry.Counter
 	recovered *telemetry.Counter
+	// rejected_degraded: admissions refused while the disk is sick.
+	rejectedDegraded *telemetry.Counter
 
 	// leakywayd_store_lookups_total{result=...} — admission-time store
 	// outcome: hit (served from cache), coalesced (attached to an
@@ -29,6 +31,17 @@ type serverMetrics struct {
 	storeHit       *telemetry.Counter
 	storeCoalesced *telemetry.Counter
 	storeMiss      *telemetry.Counter
+
+	// Store governance and integrity repair.
+	storeEvictions    *telemetry.Counter
+	storeEvictedBytes *telemetry.Counter
+	sweepRemoved      *telemetry.Counter
+
+	// Durability hardening: degraded-mode episodes, absorbed fsync
+	// retries and online journal compactions.
+	degradedEntered *telemetry.Counter
+	walFsyncRetries *telemetry.Counter
+	walRotations    *telemetry.Counter
 
 	// Worker utilization and SSE fan-out.
 	workersBusy *telemetry.Gauge
@@ -68,12 +81,26 @@ func newServerMetrics(s *Server) *serverMetrics {
 	m.retries = reg.Counter(jobsTotal, jobsHelp, telemetry.L("event", "retried"))
 	m.panics = reg.Counter(jobsTotal, jobsHelp, telemetry.L("event", "panic"))
 	m.recovered = reg.Counter(jobsTotal, jobsHelp, telemetry.L("event", "recovered"))
+	m.rejectedDegraded = reg.Counter(jobsTotal, jobsHelp, telemetry.L("event", "rejected_degraded"))
 
 	const lookups = "leakywayd_store_lookups_total"
 	const lookupsHelp = "Admission-time result-store outcomes."
 	m.storeHit = reg.Counter(lookups, lookupsHelp, telemetry.L("result", "hit"))
 	m.storeCoalesced = reg.Counter(lookups, lookupsHelp, telemetry.L("result", "coalesced"))
 	m.storeMiss = reg.Counter(lookups, lookupsHelp, telemetry.L("result", "miss"))
+
+	m.storeEvictions = reg.Counter("leakywayd_store_evictions_total",
+		"Entries evicted to keep the store under its quota.")
+	m.storeEvictedBytes = reg.Counter("leakywayd_store_evicted_bytes_total",
+		"Bytes reclaimed by store eviction.")
+	m.sweepRemoved = reg.Counter("leakywayd_store_sweep_removed_total",
+		"Entries the startup integrity sweep removed.")
+	m.degradedEntered = reg.Counter("leakywayd_degraded_entered_total",
+		"Times the server entered degraded mode over a disk failure.")
+	m.walFsyncRetries = reg.Counter("leakywayd_wal_fsync_retries_total",
+		"Transient journal fsync failures absorbed by retry.")
+	m.walRotations = reg.Counter("leakywayd_wal_rotations_total",
+		"Online journal compactions.")
 
 	m.workersBusy = reg.Gauge("leakywayd_workers_busy",
 		"Workers currently running an execution.")
@@ -113,6 +140,30 @@ func newServerMetrics(s *Server) *serverMetrics {
 			s.mu.Lock()
 			defer s.mu.Unlock()
 			if s.draining {
+				return 1
+			}
+			return 0
+		})
+	reg.GaugeFunc("leakywayd_store_bytes",
+		"Total bytes of live result-store entries.",
+		func() float64 {
+			if s.store == nil {
+				return 0
+			}
+			return float64(s.store.SizeBytes())
+		})
+	reg.GaugeFunc("leakywayd_store_entries",
+		"Live result-store entry count.",
+		func() float64 {
+			if s.store == nil {
+				return 0
+			}
+			return float64(s.store.Len())
+		})
+	reg.GaugeFunc("leakywayd_degraded",
+		"1 while the server is refusing admissions over a disk failure.",
+		func() float64 {
+			if deg, _ := s.DegradedState(); deg {
 				return 1
 			}
 			return 0

@@ -24,6 +24,7 @@ import (
 	"time"
 
 	"leakyway/internal/experiments"
+	"leakyway/internal/iofault"
 	"leakyway/internal/scenario"
 	"leakyway/internal/telemetry"
 )
@@ -56,6 +57,29 @@ type Config struct {
 	ProgressInterval time.Duration
 	// Runner executes submissions (default EngineRunner).
 	Runner Runner
+	// FS is the filesystem the store and journal write through (default
+	// the real OS). Chaos tests swap in an iofault.Injector to drive the
+	// production durability paths through hostile-disk conditions.
+	FS iofault.FS
+	// StoreQuotaBytes caps the result store's total artifact bytes;
+	// exceeding it evicts least-recently-accessed unpinned entries. Zero
+	// means unlimited.
+	StoreQuotaBytes int64
+	// StoreMaxEntries caps the result store's entry count the same way.
+	StoreMaxEntries int
+	// WALRotateBytes is the journal size past which the server compacts
+	// it online to exactly the live state (default 4 MiB; negative
+	// disables rotation).
+	WALRotateBytes int64
+	// FsyncRetries bounds how many transient journal fsync failures an
+	// append absorbs with exponential backoff before the server degrades
+	// (default 3; negative disables retries). FsyncRetryBase is the
+	// backoff base (default 5ms).
+	FsyncRetries   int
+	FsyncRetryBase time.Duration
+	// ProbeInterval is how often a degraded server probes the disk to
+	// decide whether to resume admissions (default 1s).
+	ProbeInterval time.Duration
 	// Logger receives structured operational logs (default
 	// slog.Default()). The server derives job-scoped child loggers from
 	// it, so every line about an execution carries its job ID and key.
@@ -78,6 +102,16 @@ type Server struct {
 	draining bool
 
 	queue chan *execution
+
+	// Degraded mode: set when a durability write (journal append, store
+	// publish) fails. Admissions answer 503 + Retry-After while reads,
+	// SSE and running jobs continue; a probe goroutine exercises the
+	// failing paths until they heal, then clears the state.
+	healthMu       sync.Mutex
+	degraded       bool
+	degradedReason string
+	degradedSince  time.Time
+	probeWG        sync.WaitGroup
 
 	baseCtx    context.Context
 	baseCancel context.CancelFunc
@@ -122,6 +156,23 @@ func New(cfg Config) (*Server, error) {
 	if cfg.Logger == nil {
 		cfg.Logger = slog.Default()
 	}
+	if cfg.FS == nil {
+		cfg.FS = iofault.OS()
+	}
+	if cfg.WALRotateBytes == 0 {
+		cfg.WALRotateBytes = 4 << 20
+	}
+	if cfg.FsyncRetries < 0 {
+		cfg.FsyncRetries = 0
+	} else if cfg.FsyncRetries == 0 {
+		cfg.FsyncRetries = 3
+	}
+	if cfg.FsyncRetryBase <= 0 {
+		cfg.FsyncRetryBase = 5 * time.Millisecond
+	}
+	if cfg.ProbeInterval <= 0 {
+		cfg.ProbeInterval = time.Second
+	}
 
 	s := &Server{
 		cfg:      cfg,
@@ -131,17 +182,24 @@ func New(cfg Config) (*Server, error) {
 	s.met = newServerMetrics(s)
 	s.baseCtx, s.baseCancel = context.WithCancel(context.Background())
 
-	store, dropped, err := OpenStore(filepath.Join(cfg.DataDir, "store"))
+	store, removed, err := OpenStore(cfg.FS, filepath.Join(cfg.DataDir, "store"), StoreOptions{
+		QuotaBytes:   cfg.StoreQuotaBytes,
+		MaxEntries:   cfg.StoreMaxEntries,
+		Logger:       cfg.Logger,
+		Evictions:    s.met.storeEvictions,
+		EvictedBytes: s.met.storeEvictedBytes,
+	})
 	if err != nil {
 		return nil, err
 	}
 	s.store = store
-	if dropped > 0 {
-		cfg.Logger.Warn("store integrity sweep dropped corrupt or torn entries", "dropped", dropped)
+	for _, r := range removed {
+		cfg.Logger.Warn("store integrity sweep removed entry", "entry", r.Entry, "reason", r.Reason)
+		s.met.sweepRemoved.Inc()
 	}
 
 	jpath := filepath.Join(cfg.DataDir, "journal.jsonl")
-	entries, err := replayJournal(jpath)
+	entries, err := replayJournal(cfg.FS, jpath)
 	if err != nil {
 		return nil, err
 	}
@@ -154,13 +212,20 @@ func New(cfg Config) (*Server, error) {
 	s.queue = make(chan *execution, cfg.QueueCap+len(recovered))
 
 	// Compact: the rewritten journal carries exactly the live state.
-	s.journal, err = rewriteJournal(jpath, s.liveEntries())
+	s.journal, err = rewriteJournal(cfg.FS, jpath, s.liveEntries(), journalConfig{
+		rotateBytes: cfg.WALRotateBytes,
+		syncRetries: cfg.FsyncRetries,
+		retryBase:   cfg.FsyncRetryBase,
+	})
 	if err != nil {
 		return nil, err
 	}
 	s.journal.fsyncHist = s.met.walFsync
+	s.journal.syncRetriesCount = s.met.walFsyncRetries
+	s.journal.rotations = s.met.walRotations
 
 	for _, exec := range recovered {
+		s.store.Pin(exec.key)
 		s.queued++
 		exec.enqueuedAt = time.Now()
 		s.queue <- exec
@@ -345,6 +410,14 @@ func (s *Server) Submit(sub Submission) (*Job, error) {
 	if s.draining {
 		return nil, &submitError{status: 503, msg: "draining: not accepting new jobs"}
 	}
+	if deg, reason := s.DegradedState(); deg {
+		s.met.rejectedDegraded.Inc()
+		return nil, &submitError{
+			status:     503,
+			retryAfter: s.probeRetryAfter(),
+			msg:        fmt.Sprintf("degraded (%s): not accepting new jobs; retry later", reason),
+		}
+	}
 
 	// Cache hit: the result exists; no queueing, no simulation. The job
 	// record is journalled as already-done so a restart keeps serving it.
@@ -354,15 +427,15 @@ func (s *Server) Submit(sub Submission) (*Job, error) {
 		j.CacheHit = true
 		subCopy := j.sub
 		if err := s.journal.Append(journalEntry{Op: opAccept, ID: j.ID, Key: key, Sub: &subCopy}); err != nil {
-			delete(s.jobs, j.ID)
-			return nil, &submitError{status: 500, msg: fmt.Sprintf("journal: %v", err)}
+			return nil, s.journalFailLocked(j, err)
 		}
 		if err := s.journal.Append(journalEntry{Op: opDone, ID: j.ID, Key: key}); err != nil {
-			return nil, &submitError{status: 500, msg: fmt.Sprintf("journal: %v", err)}
+			return nil, s.journalFailLocked(j, err)
 		}
 		s.met.accepted.Inc()
 		s.met.storeHit.Inc()
 		s.met.completed.Inc()
+		s.maybeRotateLocked()
 		return j, nil
 	}
 
@@ -373,12 +446,12 @@ func (s *Server) Submit(sub Submission) (*Job, error) {
 		j.Coalesced = true
 		subCopy := j.sub
 		if err := s.journal.Append(journalEntry{Op: opAccept, ID: j.ID, Key: key, Sub: &subCopy}); err != nil {
-			delete(s.jobs, j.ID)
-			return nil, &submitError{status: 500, msg: fmt.Sprintf("journal: %v", err)}
+			return nil, s.journalFailLocked(j, err)
 		}
 		exec.jobs = append(exec.jobs, j)
 		s.met.accepted.Inc()
 		s.met.storeCoalesced.Inc()
+		s.maybeRotateLocked()
 		return j, nil
 	}
 
@@ -402,16 +475,51 @@ func (s *Server) Submit(sub Submission) (*Job, error) {
 	// process dies any time after here, restart re-runs the job.
 	subCopy := j.sub
 	if err := s.journal.Append(journalEntry{Op: opAccept, ID: j.ID, Key: key, Sub: &subCopy}); err != nil {
-		delete(s.jobs, j.ID)
-		return nil, &submitError{status: 500, msg: fmt.Sprintf("journal: %v", err)}
+		return nil, s.journalFailLocked(j, err)
 	}
+	// Pin before enqueueing: the execution's key must not be evictable
+	// while a worker may be between Put and serving the artifacts.
+	s.store.Pin(key)
 	s.inflight[key] = exec
 	s.queued++
 	exec.enqueuedAt = time.Now()
 	s.queue <- exec // cannot block: queued < QueueCap ≤ cap(queue)
 	s.met.accepted.Inc()
 	s.met.storeMiss.Inc()
+	s.maybeRotateLocked()
 	return j, nil
+}
+
+// journalFailLocked rolls back an admission whose WAL append failed: the
+// job record is withdrawn (nothing was acknowledged), the server enters
+// degraded mode, and the client gets 503 + Retry-After. Caller holds
+// s.mu.
+func (s *Server) journalFailLocked(j *Job, err error) *submitError {
+	delete(s.jobs, j.ID)
+	s.met.rejectedDegraded.Inc()
+	s.enterDegraded(fmt.Sprintf("wal append: %v", err))
+	return &submitError{
+		status:     503,
+		retryAfter: s.probeRetryAfter(),
+		msg:        fmt.Sprintf("journal unavailable: %v", err),
+	}
+}
+
+// maybeRotateLocked compacts the journal online once it outgrows its
+// rotation threshold. Rotation failure is a durability failure: the
+// server degrades rather than risk appending to a doomed segment.
+// Caller holds s.mu.
+func (s *Server) maybeRotateLocked() {
+	if !s.journal.NeedsRotation() {
+		return
+	}
+	before := s.journal.Size()
+	if err := s.journal.Rotate(s.liveEntries()); err != nil {
+		s.cfg.Logger.Error("journal rotation failed", "err", err)
+		s.enterDegraded(fmt.Sprintf("wal rotate: %v", err))
+		return
+	}
+	s.cfg.Logger.Info("journal compacted online", "before_bytes", before, "after_bytes", s.journal.Size())
 }
 
 // newJobLocked allocates the next job record. Caller holds s.mu.
@@ -457,6 +565,11 @@ func (s *Server) Cancel(id string) (bool, error) {
 	j.Status = StatusCanceled
 	j.canceled = true
 	err := s.journal.Append(journalEntry{Op: opCancel, ID: j.ID, Key: j.Key})
+	if err != nil {
+		// The cancel is applied in memory but not durable; degrade so the
+		// probe chases the disk while running work continues.
+		s.enterDegraded(fmt.Sprintf("wal append: %v", err))
+	}
 	var abort context.CancelFunc
 	if exec := j.exec; exec != nil {
 		all := true
@@ -495,6 +608,13 @@ func (s *Server) Drain() error {
 
 	s.wg.Wait()
 
+	// Stop any degraded-mode probe before touching the journal for the
+	// last time; probes append through the same handle.
+	s.baseCancel()
+	s.probeWG.Wait()
+
+	s.store.Close()
+
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if err := s.journal.Append(journalEntry{Op: opClean}); err != nil {
@@ -517,6 +637,7 @@ func (s *Server) Kill() {
 	s.mu.Unlock()
 	s.baseCancel()
 	s.wg.Wait()
+	s.probeWG.Wait()
 	s.journal.Close()
 }
 
@@ -619,6 +740,9 @@ func (s *Server) runExecution(exec *execution) {
 			stopRecorder()
 			res.Progress = exec.progLog.marshal()
 			if perr := s.store.Put(exec.key, experiments.EngineVersion, res); perr != nil {
+				// A failed publish is a disk problem: degrade admissions
+				// while this attempt retries.
+				s.enterDegraded(fmt.Sprintf("store put: %v", perr))
 				err = fmt.Errorf("store: %w", perr)
 			} else {
 				s.finishJournal(exec, journalEntry{Op: opDone, Key: exec.key})
@@ -671,23 +795,27 @@ func (s *Server) attempt(ctx context.Context, exec *execution) (res *Result, err
 }
 
 // finishJournal appends one terminal entry for the execution. A journal
-// write failure here is logged, not fatal: the store already holds the
-// result (for done), so the worst case after a crash is a redundant
-// re-check against the store.
+// write failure here is logged and degrades admissions, but is not fatal
+// to the job: the store already holds the result (for done), so the
+// worst case after a crash is a redundant re-check against the store.
 func (s *Server) finishJournal(exec *execution, e journalEntry) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if err := s.journal.Append(e); err != nil {
 		s.cfg.Logger.Error("journal append failed", "op", e.Op, "key", shortKey(exec.key), "err", err)
+		s.enterDegraded(fmt.Sprintf("wal append: %v", err))
+		return
 	}
+	s.maybeRotateLocked()
 }
 
-// finish moves every non-canceled job on the execution to status and
-// clears the single-flight slot.
+// finish moves every non-canceled job on the execution to status, clears
+// the single-flight slot and releases the execution's eviction pin.
 func (s *Server) finish(exec *execution, status, errMsg string) {
 	if h := s.met.jobDuration(status); h != nil && !exec.enqueuedAt.IsZero() {
 		h.ObserveSince(exec.enqueuedAt)
 	}
+	s.store.Unpin(exec.key)
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	for _, j := range exec.jobs {
@@ -718,4 +846,98 @@ func (s *Server) queueDepth() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.queued
+}
+
+// DegradedState reports whether the server is refusing admissions over a
+// disk problem, and why.
+func (s *Server) DegradedState() (bool, string) {
+	s.healthMu.Lock()
+	defer s.healthMu.Unlock()
+	return s.degraded, s.degradedReason
+}
+
+// probeRetryAfter is the Retry-After hint for degraded 503s: one probe
+// cycle, rounded up to a whole second.
+func (s *Server) probeRetryAfter() int {
+	secs := int((s.cfg.ProbeInterval + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return secs
+}
+
+// enterDegraded flips the server into degraded mode (idempotent: the
+// first reason wins until recovery) and starts the probe goroutine that
+// will clear it.
+func (s *Server) enterDegraded(reason string) {
+	s.healthMu.Lock()
+	if s.degraded {
+		s.healthMu.Unlock()
+		return
+	}
+	s.degraded = true
+	s.degradedReason = reason
+	s.degradedSince = time.Now()
+	s.healthMu.Unlock()
+	s.met.degradedEntered.Inc()
+	s.cfg.Logger.Error("entering degraded mode: admissions suspended until a disk probe succeeds",
+		"reason", reason)
+	s.probeWG.Add(1)
+	go s.probeLoop()
+}
+
+// exitDegraded clears degraded mode.
+func (s *Server) exitDegraded() {
+	s.healthMu.Lock()
+	reason := s.degradedReason
+	outage := time.Since(s.degradedSince)
+	s.degraded = false
+	s.degradedReason = ""
+	s.healthMu.Unlock()
+	s.cfg.Logger.Info("disk probe succeeded; degraded mode cleared, admissions resumed",
+		"reason", reason, "outage", outage.Round(time.Millisecond))
+}
+
+// probeLoop retries the disk probe every ProbeInterval until it succeeds
+// or the server shuts down. One loop runs per degraded episode.
+func (s *Server) probeLoop() {
+	defer s.probeWG.Done()
+	ticker := time.NewTicker(s.cfg.ProbeInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-s.baseCtx.Done():
+			return
+		case <-ticker.C:
+			if err := s.probeDisk(); err != nil {
+				s.cfg.Logger.Debug("disk probe failed; staying degraded", "err", err)
+				continue
+			}
+			s.exitDegraded()
+			return
+		}
+	}
+}
+
+// probeDisk exercises the same durability paths whose failure degrades
+// the server — a no-op journal append (write + fsync through the WAL
+// pipeline; replay ignores probe entries) and a synced scratch file in
+// the store directory — so recovery is decided by the subsystems that
+// actually failed, not by an unrelated disk touch.
+func (s *Server) probeDisk() error {
+	s.mu.Lock()
+	err := s.journal.Append(journalEntry{Op: opProbe})
+	if err == nil {
+		// Probe spam is reclaimed by the same online compaction.
+		s.maybeRotateLocked()
+	}
+	s.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	scratch := filepath.Join(s.cfg.DataDir, "store", ".probe")
+	if err := writeSynced(s.cfg.FS, scratch, []byte("ok\n")); err != nil {
+		return err
+	}
+	return s.cfg.FS.Remove(scratch)
 }

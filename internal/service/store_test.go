@@ -1,0 +1,199 @@
+package service
+
+import (
+	"bytes"
+	"fmt"
+	"path/filepath"
+	"testing"
+
+	"leakyway/internal/iofault"
+)
+
+// storeKey fabricates a well-formed cache key from a small integer.
+func storeKey(i int) string {
+	return fmt.Sprintf("sha256:%064x", i)
+}
+
+// putPayload stores an entry for key whose metrics artifact is n bytes,
+// so entry sizes are controllable to within the small meta.json overhead.
+func putPayload(t *testing.T, s *Store, key string, n int) {
+	t.Helper()
+	res := &Result{
+		Report:  []byte("report\n"),
+		Metrics: bytes.Repeat([]byte("x"), n),
+	}
+	if err := s.Put(key, "test-engine", res); err != nil {
+		t.Fatalf("Put %s: %v", key, err)
+	}
+}
+
+// openTestStore opens a store over the real filesystem.
+func openTestStore(t *testing.T, dir string, opt StoreOptions) (*Store, []SweepRemoval) {
+	t.Helper()
+	if opt.Logger == nil {
+		opt.Logger = testLogger(t)
+	}
+	s, removed, err := OpenStore(iofault.OS(), dir, opt)
+	if err != nil {
+		t.Fatalf("OpenStore: %v", err)
+	}
+	return s, removed
+}
+
+func TestStoreQuotaEvictsLeastRecentlyAccessed(t *testing.T) {
+	// Payloads dominate entry size, so ~4400-byte entries against a
+	// 10000-byte quota means two fit and a third forces one eviction.
+	s, _ := openTestStore(t, t.TempDir(), StoreOptions{QuotaBytes: 10000})
+	putPayload(t, s, storeKey(1), 4096)
+	putPayload(t, s, storeKey(2), 4096)
+	if s.Len() != 2 {
+		t.Fatalf("two entries under quota, got %d", s.Len())
+	}
+
+	// Touch 1 so 2 is the LRU victim.
+	if !s.Has(storeKey(1)) {
+		t.Fatalf("entry 1 missing")
+	}
+	putPayload(t, s, storeKey(3), 4096)
+
+	if s.Has(storeKey(2)) {
+		t.Fatalf("LRU entry 2 survived eviction")
+	}
+	if !s.Has(storeKey(1)) || !s.Has(storeKey(3)) {
+		t.Fatalf("recently-used entries evicted")
+	}
+	if got := s.SizeBytes(); got > 10000 {
+		t.Fatalf("store %d bytes, quota 10000", got)
+	}
+}
+
+func TestStoreMaxEntriesCap(t *testing.T) {
+	s, _ := openTestStore(t, t.TempDir(), StoreOptions{MaxEntries: 3})
+	for i := 1; i <= 5; i++ {
+		putPayload(t, s, storeKey(i), 64)
+	}
+	if s.Len() != 3 {
+		t.Fatalf("entry count %d, cap 3", s.Len())
+	}
+	// Insertion order doubles as access order here: 1 and 2 are gone.
+	for _, i := range []int{3, 4, 5} {
+		if !s.Has(storeKey(i)) {
+			t.Fatalf("entry %d evicted out of LRU order", i)
+		}
+	}
+}
+
+func TestStorePinBlocksEviction(t *testing.T) {
+	s, _ := openTestStore(t, t.TempDir(), StoreOptions{MaxEntries: 2})
+	putPayload(t, s, storeKey(1), 64)
+	s.Pin(storeKey(1))
+	putPayload(t, s, storeKey(2), 64)
+	putPayload(t, s, storeKey(3), 64)
+
+	// 1 is the oldest but pinned; 2 must be the victim.
+	if !s.Has(storeKey(1)) {
+		t.Fatalf("pinned entry evicted")
+	}
+	if s.Has(storeKey(2)) {
+		t.Fatalf("unpinned LRU entry survived")
+	}
+
+	// After unpinning, 1 is evictable again. Re-age it below 3.
+	s.Unpin(storeKey(1))
+	s.Has(storeKey(3))
+	putPayload(t, s, storeKey(4), 64)
+	if s.Has(storeKey(1)) {
+		t.Fatalf("unpinned entry not evicted")
+	}
+}
+
+func TestStoreAllPinnedDefersEviction(t *testing.T) {
+	s, _ := openTestStore(t, t.TempDir(), StoreOptions{MaxEntries: 1})
+	putPayload(t, s, storeKey(1), 64)
+	s.Pin(storeKey(1))
+	s.Pin(storeKey(2))
+	putPayload(t, s, storeKey(2), 64)
+	// Over cap but both pinned: nothing may be removed.
+	if s.Len() != 2 {
+		t.Fatalf("pinned entries evicted: %d live", s.Len())
+	}
+}
+
+func TestStoreLRUOrderSurvivesRestart(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := openTestStore(t, dir, StoreOptions{})
+	for i := 1; i <= 3; i++ {
+		putPayload(t, s, storeKey(i), 64)
+	}
+	// Recency: 2, 3, 1 from oldest to newest.
+	s.Has(storeKey(3))
+	s.Has(storeKey(1))
+	s.Close() // persists lru-index.json
+
+	// Reopen with a cap of 2: the persisted order must make 2 the victim.
+	s2, removed := openTestStore(t, dir, StoreOptions{MaxEntries: 2})
+	if len(removed) != 0 {
+		t.Fatalf("sweep removed intact entries: %v", removed)
+	}
+	if s2.Has(storeKey(2)) {
+		t.Fatalf("persisted LRU order lost: entry 2 survived")
+	}
+	if !s2.Has(storeKey(1)) || !s2.Has(storeKey(3)) {
+		t.Fatalf("recently-used entries evicted on reopen")
+	}
+}
+
+func TestStoreSweepRepairsTornEviction(t *testing.T) {
+	dir := t.TempDir()
+	// An eviction interrupted by an I/O failure (or SIGKILL) leaves a
+	// half-deleted entry directory.
+	inj := iofault.NewInjector(iofault.OS(), 1, iofault.BrokenRemove(hexOf(storeKey(1)), iofault.ErrIO))
+	s, _, err := OpenStore(inj, dir, StoreOptions{MaxEntries: 1, Logger: testLogger(t)})
+	if err != nil {
+		t.Fatalf("OpenStore: %v", err)
+	}
+	putPayload(t, s, storeKey(1), 64)
+	putPayload(t, s, storeKey(2), 64) // evicts 1; RemoveAll tears
+
+	if s.Has(storeKey(1)) {
+		t.Fatalf("torn-evicted entry still indexed")
+	}
+	// The wreckage is on disk: reopening must sweep it away.
+	s2, removed := openTestStore(t, dir, StoreOptions{})
+	found := false
+	for _, r := range removed {
+		if r.Entry == hexOf(storeKey(1)) {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("sweep did not remove torn eviction wreckage (removed %v)", removed)
+	}
+	if s2.Has(storeKey(1)) {
+		t.Fatalf("swept entry reported live")
+	}
+	if !s2.Has(storeKey(2)) {
+		t.Fatalf("intact entry lost in sweep")
+	}
+}
+
+func TestStoreEvictedArtifactUnreadable(t *testing.T) {
+	s, _ := openTestStore(t, t.TempDir(), StoreOptions{MaxEntries: 1})
+	putPayload(t, s, storeKey(1), 64)
+	putPayload(t, s, storeKey(2), 64)
+	if _, err := s.Artifact(storeKey(1), "metrics"); err == nil {
+		t.Fatalf("evicted entry's artifact still readable")
+	}
+	if _, err := s.Artifact(storeKey(2), "metrics"); err != nil {
+		t.Fatalf("live artifact unreadable: %v", err)
+	}
+	if fi := filepath.Join(s.dir, hexOf(storeKey(1))); dirExists(t, fi) {
+		t.Fatalf("evicted entry directory still on disk")
+	}
+}
+
+func dirExists(t *testing.T, path string) bool {
+	t.Helper()
+	_, err := iofault.OS().ReadDir(path)
+	return err == nil
+}
