@@ -40,13 +40,14 @@ staticcheck:
 		echo "staticcheck not installed; skipping"; \
 	fi
 
-# Short fuzz runs over the wire-format decoders and the scenario template
-# loader (go test takes one -fuzz pattern per invocation, hence one
-# command per target).
+# Short fuzz runs over the wire-format decoders, the scenario template
+# loader and the batch-kernel equivalence property (go test takes one
+# -fuzz pattern per invocation, hence one command per target).
 fuzz-smoke:
 	$(GO) test ./internal/channel -run '^$$' -fuzz FuzzFrameDecode -fuzztime 5s
 	$(GO) test ./internal/channel -run '^$$' -fuzz FuzzAckDecode -fuzztime 5s
 	$(GO) test ./internal/scenario -run '^$$' -fuzz FuzzLoadScenario -fuzztime 5s
+	$(GO) test ./internal/sim -run '^$$' -fuzz FuzzBatchScalarEquivalence -fuzztime 5s
 
 # Shipped-template gate: every template under templates/ must load through
 # the strict parser/validator via the real CLI entry point.
@@ -81,7 +82,10 @@ chaos-smoke:
 	$(GO) build -o /tmp/leakywayd-smoke ./cmd/leakywayd
 	$(GO) run ./cmd/daemonsmoke -bin /tmp/leakywayd-smoke -chaos
 
-verify: build vet fmt-check staticcheck test race fuzz-smoke trace-smoke template-validate daemon-smoke chaos-smoke
+# The slow end-to-end daemon gates ride verify by default; CI splits them
+# into their own parallel job with `make verify VERIFY_SMOKES=`.
+VERIFY_SMOKES ?= daemon-smoke chaos-smoke
+verify: build vet fmt-check staticcheck test race fuzz-smoke trace-smoke template-validate $(VERIFY_SMOKES)
 
 # Full benchmark sweep (quick-mode trial counts).
 bench:

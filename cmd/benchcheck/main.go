@@ -22,6 +22,7 @@
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -58,14 +59,16 @@ type gatesSection struct {
 // benchFile mirrors BENCH.json so -update can rewrite the gates without
 // disturbing the narrative sections.
 type benchFile struct {
-	Date          string         `json:"date"`
-	Host          map[string]any `json:"host"`
-	KernelSpeedup map[string]any `json:"kernel_speedup,omitempty"`
-	Benchmarks    map[string]any `json:"benchmarks"`
-	Speedups      map[string]any `json:"speedups,omitempty"`
-	TraceOverhead map[string]any `json:"trace_overhead,omitempty"`
-	Determinism   string         `json:"determinism,omitempty"`
-	Gates         gatesSection   `json:"gates"`
+	Date              string         `json:"date"`
+	Host              map[string]any `json:"host"`
+	KernelSpeedup     map[string]any `json:"kernel_speedup,omitempty"`
+	BatchKernel       map[string]any `json:"batch_kernel,omitempty"`
+	Benchmarks        map[string]any `json:"benchmarks"`
+	Speedups          map[string]any `json:"speedups,omitempty"`
+	TraceOverhead     map[string]any `json:"trace_overhead,omitempty"`
+	TelemetryOverhead map[string]any `json:"telemetry_overhead,omitempty"`
+	Determinism       string         `json:"determinism,omitempty"`
+	Gates             gatesSection   `json:"gates"`
 }
 
 // benchLine matches one `go test -bench` result line, with or without the
@@ -113,6 +116,7 @@ func run() int {
 	}
 
 	if *update {
+		var rows []summaryRow
 		for i := range bf.Gates.Entries {
 			g := &bf.Gates.Entries[i]
 			m, ok := measured[g.Bench]
@@ -120,16 +124,26 @@ func run() int {
 				fmt.Fprintf(os.Stderr, "benchcheck: %s produced no result\n", g.Bench)
 				return 2
 			}
+			rows = append(rows, summaryRow{
+				bench: g.Bench, status: "repinned",
+				baseline: g.NsPerOp, measured: m.ns,
+				delta:  (m.ns/g.NsPerOp - 1) * 100,
+				allocs: m.allocs, maxAllocs: g.AllocsPerOp,
+			})
 			g.NsPerOp = m.ns
 			g.AllocsPerOp = m.allocs
 			g.CalNs = m.cal
 		}
-		out, err := json.MarshalIndent(&bf, "", "  ")
-		if err != nil {
+		writeStepSummary("benchcheck: re-pinned baselines", rows)
+		var buf bytes.Buffer
+		enc := json.NewEncoder(&buf)
+		enc.SetEscapeHTML(false) // keep "->" in narrative strings readable
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(&bf); err != nil {
 			fmt.Fprintln(os.Stderr, "benchcheck:", err)
 			return 2
 		}
-		if err := os.WriteFile(*path, append(out, '\n'), 0o644); err != nil {
+		if err := os.WriteFile(*path, buf.Bytes(), 0o644); err != nil {
 			fmt.Fprintln(os.Stderr, "benchcheck:", err)
 			return 2
 		}
@@ -142,6 +156,10 @@ func run() int {
 	if maxAttempts < 1 {
 		maxAttempts = 1
 	}
+	// latest holds each gate's most recent evaluation; re-measured gates
+	// overwrite their first noisy sample, so the job summary shows the
+	// verdict attempt.
+	latest := map[string]summaryRow{}
 	pending := bf.Gates.Entries
 	for attempt := 1; ; attempt++ {
 		var still []gate
@@ -149,11 +167,13 @@ func run() int {
 			m, ok := measured[g.Bench]
 			if !ok {
 				fmt.Printf("FAIL  %-28s no result (renamed or removed?)\n", g.Bench)
+				latest[g.Bench] = summaryRow{bench: g.Bench, status: "FAIL (no result)"}
 				failed = true
 				continue
 			}
-			status := evaluate(g, m, tol, *inflate)
-			if status == "FAIL" {
+			row := evaluate(g, m, tol, *inflate)
+			latest[g.Bench] = row
+			if row.status == "FAIL" {
 				still = append(still, g)
 			}
 		}
@@ -170,16 +190,65 @@ func run() int {
 		}
 		pending = still
 	}
+	rows := make([]summaryRow, 0, len(bf.Gates.Entries))
+	for _, g := range bf.Gates.Entries {
+		if row, ok := latest[g.Bench]; ok {
+			rows = append(rows, row)
+		}
+	}
 	if failed {
+		writeStepSummary(fmt.Sprintf("benchcheck: FAILED (tolerance ±%.0f%%)", tol), rows)
 		fmt.Printf("benchcheck: FAILED (tolerance ±%.0f%%, %d attempts); if intentional, re-pin with `go run ./cmd/benchcheck -update`\n", tol, maxAttempts)
 		return 1
 	}
+	writeStepSummary(fmt.Sprintf("benchcheck: all %d gates within ±%.0f%%", len(bf.Gates.Entries), tol), rows)
 	fmt.Printf("benchcheck: all %d gates within ±%.0f%%\n", len(bf.Gates.Entries), tol)
 	return 0
 }
 
-// evaluate prints one gate's result line and returns its status.
-func evaluate(g gate, m result, tol, inflate float64) string {
+// summaryRow is one gate's outcome for the CI job summary: the (scaled)
+// baseline it was held against, what was measured, and the verdict.
+type summaryRow struct {
+	bench     string
+	status    string
+	baseline  float64 // scaled baseline ns/op (or pinned ns/op in -update)
+	measured  float64 // measured ns/op
+	delta     float64 // percent vs baseline
+	allocs    int64
+	maxAllocs int64
+}
+
+// writeStepSummary appends a markdown before/after table to the file named
+// by $GITHUB_STEP_SUMMARY, the GitHub Actions job-summary sink. Outside CI
+// (variable unset) it does nothing; write errors are reported but never
+// change the gate's exit status.
+func writeStepSummary(title string, rows []summaryRow) {
+	path := os.Getenv("GITHUB_STEP_SUMMARY")
+	if path == "" || len(rows) == 0 {
+		return
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "### %s\n\n", title)
+	sb.WriteString("| benchmark | baseline ns/op | measured ns/op | Δ | allocs/op (max) | status |\n")
+	sb.WriteString("|---|---:|---:|---:|---:|---|\n")
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "| %s | %.0f | %.0f | %+.1f%% | %d (%d) | %s |\n",
+			r.bench, r.baseline, r.measured, r.delta, r.allocs, r.maxAllocs, r.status)
+	}
+	sb.WriteString("\n")
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchcheck: step summary:", err)
+		return
+	}
+	defer f.Close()
+	if _, err := f.WriteString(sb.String()); err != nil {
+		fmt.Fprintln(os.Stderr, "benchcheck: step summary:", err)
+	}
+}
+
+// evaluate prints one gate's result line and returns its summary row.
+func evaluate(g gate, m result, tol, inflate float64) summaryRow {
 	ns := m.ns * inflate
 	// Host-speed factor for this gate's invocation window, clamped: a
 	// factor outside [0.25, 4] means calibration itself is broken, and
@@ -208,7 +277,11 @@ func evaluate(g gate, m result, tol, inflate float64) string {
 	}
 	fmt.Printf("%s  %-28s %10.1f ns/op (scaled baseline %10.1f, %+.0f%%)  %d allocs/op (max %d)\n",
 		status, g.Bench, ns, g.NsPerOp*scale, (ratio-1)*100, m.allocs, g.AllocsPerOp)
-	return strings.TrimSpace(status)
+	return summaryRow{
+		bench: g.Bench, status: strings.TrimSpace(status),
+		baseline: g.NsPerOp * scale, measured: ns, delta: (ratio - 1) * 100,
+		allocs: m.allocs, maxAllocs: g.AllocsPerOp,
+	}
 }
 
 // result is one measured benchmark, plus the reference-workload time

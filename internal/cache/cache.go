@@ -35,7 +35,9 @@ func (s CohState) String() string {
 	return "?"
 }
 
-// Line is one cache way's contents.
+// Line is one cache way's contents, as a view value. The cache itself keeps
+// line state in structure-of-arrays form (see Cache); Line is what ViewSet
+// and the trace/assertion surface hand out.
 type Line struct {
 	Addr  mem.LineAddr
 	Valid bool
@@ -49,11 +51,13 @@ type Line struct {
 	InFlightUntil int64
 }
 
-// set pairs the data array with the policy state.
-type set struct {
-	lines []Line
-	state policy.SetState
-}
+// meta bit layout: bit 0 = valid, bit 1 = dirty, bits 2-3 = coherence state.
+const (
+	metaValid   = uint8(1 << 0)
+	metaDirty   = uint8(1 << 1)
+	metaCohShft = 2
+	metaCohMask = uint8(3 << metaCohShft)
+)
 
 // Config describes one cache.
 type Config struct {
@@ -73,15 +77,39 @@ type Stats struct {
 }
 
 // Cache is a single set-associative cache array.
+//
+// Line state is held as structure-of-arrays: a flat address array, a packed
+// valid/dirty/coherence byte per way, and the in-flight deadline array, each
+// indexed by set*ways+way. The split keeps the hot probe loop scanning a
+// contiguous uint64 lane (addresses) with a parallel one-byte metadata lane,
+// and — just as importantly — makes recycling cheap: the cache records which
+// sets were ever written, so Reset restores a heavily-used cache to its
+// freshly-built state by re-zeroing only those sets instead of the whole
+// multi-megabyte array. sim.BatchMachine leans on that to run Monte-Carlo
+// fleets without rebuilding a hierarchy per trial.
 type Cache struct {
 	cfg   Config
-	sets  []set
+	addrs []mem.LineAddr // sets*ways line addresses
+	meta  []uint8        // sets*ways packed valid/dirty/coh
+	ready []int64        // sets*ways in-flight deadlines
+
+	states []policy.SetState
+
+	// touched lists the sets mutated since construction or the last Reset;
+	// isTouched is its membership bitmap. A set is marked at its first
+	// fill attempt — every other mutation (hit update, invalidate, dirty
+	// or coherence marking) requires a valid line and therefore a prior
+	// fill in the same set.
+	touched   []int32
+	isTouched []bool
+
 	stats Stats
 }
 
-// New builds the cache. All sets share one flat preallocated line array
-// (each set views its own ways-sized window), so a set scan touches
-// contiguous memory and construction costs two allocations, not O(sets).
+// New builds the cache. All sets share flat preallocated state arrays (each
+// set views its own ways-sized window), so a set scan touches contiguous
+// memory and construction cost does not scale with the set count beyond the
+// per-set policy state.
 func New(cfg Config) *Cache {
 	if cfg.Sets <= 0 || cfg.Ways <= 0 {
 		panic(fmt.Sprintf("cache %q: sets=%d ways=%d must be positive", cfg.Name, cfg.Sets, cfg.Ways))
@@ -89,16 +117,46 @@ func New(cfg Config) *Cache {
 	if cfg.Ways > 64 {
 		panic(fmt.Sprintf("cache %q: ways=%d exceeds the 64-way mask limit", cfg.Name, cfg.Ways))
 	}
-	c := &Cache{cfg: cfg, sets: make([]set, cfg.Sets)}
-	backing := make([]Line, cfg.Sets*cfg.Ways)
-	for i := range c.sets {
-		lo, hi := i*cfg.Ways, (i+1)*cfg.Ways
-		c.sets[i] = set{
-			lines: backing[lo:hi:hi],
-			state: cfg.Pol.NewSet(cfg.Ways),
-		}
+	n := cfg.Sets * cfg.Ways
+	c := &Cache{
+		cfg:       cfg,
+		addrs:     make([]mem.LineAddr, n),
+		meta:      make([]uint8, n),
+		ready:     make([]int64, n),
+		states:    make([]policy.SetState, cfg.Sets),
+		isTouched: make([]bool, cfg.Sets),
+	}
+	for i := range c.states {
+		c.states[i] = cfg.Pol.NewSet(cfg.Ways)
 	}
 	return c
+}
+
+// Reset restores the cache to its freshly-built state: every previously
+// touched set has its line state re-zeroed and its policy state reset, and
+// the event counters are cleared. Cost is proportional to the number of
+// distinct sets the previous use actually wrote, not the geometry.
+func (c *Cache) Reset() {
+	for _, s := range c.touched {
+		base := int(s) * c.cfg.Ways
+		for i := base; i < base+c.cfg.Ways; i++ {
+			c.addrs[i] = 0
+			c.meta[i] = 0
+			c.ready[i] = 0
+		}
+		c.states[s].Reset()
+		c.isTouched[s] = false
+	}
+	c.touched = c.touched[:0]
+	c.stats = Stats{}
+}
+
+// markTouched records that setIdx has been mutated since the last Reset.
+func (c *Cache) markTouched(setIdx int) {
+	if !c.isTouched[setIdx] {
+		c.isTouched[setIdx] = true
+		c.touched = append(c.touched, int32(setIdx))
+	}
 }
 
 // Name returns the configured name.
@@ -119,9 +177,9 @@ func (c *Cache) ResetStats() { c.stats = Stats{} }
 // Probe looks a line up without touching replacement state. It returns the
 // way index and whether the line is present.
 func (c *Cache) Probe(setIdx int, la mem.LineAddr) (way int, ok bool) {
-	s := &c.sets[setIdx]
-	for w := range s.lines {
-		if s.lines[w].Valid && s.lines[w].Addr == la {
+	base := setIdx * c.cfg.Ways
+	for w := 0; w < c.cfg.Ways; w++ {
+		if c.addrs[base+w] == la && c.meta[base+w]&metaValid != 0 {
 			return w, true
 		}
 	}
@@ -132,17 +190,24 @@ func (c *Cache) Probe(setIdx int, la mem.LineAddr) (way int, ok bool) {
 // Probe, updating replacement state.
 func (c *Cache) Touch(setIdx, way int, cls policy.AccessClass) {
 	c.stats.Hits++
-	c.sets[setIdx].state.OnHit(way, cls)
+	c.states[setIdx].OnHit(way, cls)
 }
 
 // MarkDirty flags the line as modified.
-func (c *Cache) MarkDirty(setIdx, way int) { c.sets[setIdx].lines[way].Dirty = true }
+func (c *Cache) MarkDirty(setIdx, way int) {
+	c.meta[setIdx*c.cfg.Ways+way] |= metaDirty
+}
 
 // Coh returns the line's coherence state.
-func (c *Cache) Coh(setIdx, way int) CohState { return c.sets[setIdx].lines[way].Coh }
+func (c *Cache) Coh(setIdx, way int) CohState {
+	return CohState(c.meta[setIdx*c.cfg.Ways+way]&metaCohMask) >> metaCohShft
+}
 
 // SetCoh updates the line's coherence state.
-func (c *Cache) SetCoh(setIdx, way int, s CohState) { c.sets[setIdx].lines[way].Coh = s }
+func (c *Cache) SetCoh(setIdx, way int, s CohState) {
+	i := setIdx*c.cfg.Ways + way
+	c.meta[i] = c.meta[i]&^metaCohMask | uint8(s)<<metaCohShft
+}
 
 // Evicted describes a line displaced by Fill.
 type Evicted struct {
@@ -168,37 +233,42 @@ func (c *Cache) Fill(setIdx int, la mem.LineAddr, cls policy.AccessClass, now, r
 // never displace another domain's lines. The mask form keeps the eviction
 // decision allocation-free — no closure is built per fill.
 func (c *Cache) FillRestricted(setIdx int, la mem.LineAddr, cls policy.AccessClass, now, readyAt int64, allowed policy.Mask) (ev Evicted, evicted, ok bool) {
-	s := &c.sets[setIdx]
+	// Mark before any state can change: even a dropped fill may have aged
+	// the set through the policy's victim search.
+	c.markTouched(setIdx)
+	base := setIdx * c.cfg.Ways
 	if w, present := c.Probe(setIdx, la); present {
 		// Already present (racing fills): treat as a hit refresh.
-		s.state.OnHit(w, cls)
+		c.states[setIdx].OnHit(w, cls)
 		return Evicted{}, false, true
 	}
 	way := -1
-	for w := range s.lines {
-		if !s.lines[w].Valid && allowed.Has(w) {
+	for w := 0; w < c.cfg.Ways; w++ {
+		if c.meta[base+w]&metaValid == 0 && allowed.Has(w) {
 			way = w
 			break
 		}
 	}
 	if way < 0 {
 		var evictable policy.Mask
-		for w := range s.lines {
-			if s.lines[w].InFlightUntil <= now {
+		for w := 0; w < c.cfg.Ways; w++ {
+			if c.ready[base+w] <= now {
 				evictable |= 1 << uint(w)
 			}
 		}
-		way = s.state.Victim(evictable & allowed)
+		way = c.states[setIdx].Victim(evictable & allowed)
 		if way < 0 {
 			return Evicted{}, false, false
 		}
-		ev = Evicted{Addr: s.lines[way].Addr, Dirty: s.lines[way].Dirty}
+		ev = Evicted{Addr: c.addrs[base+way], Dirty: c.meta[base+way]&metaDirty != 0}
 		evicted = true
 		c.stats.Evictions++
-		s.state.OnInvalidate(way)
+		c.states[setIdx].OnInvalidate(way)
 	}
-	s.lines[way] = Line{Addr: la, Valid: true, InFlightUntil: readyAt}
-	s.state.OnFill(way, cls)
+	c.addrs[base+way] = la
+	c.meta[base+way] = metaValid
+	c.ready[base+way] = readyAt
+	c.states[setIdx].OnFill(way, cls)
 	c.stats.Fills++
 	return ev, evicted, true
 }
@@ -206,14 +276,16 @@ func (c *Cache) FillRestricted(setIdx int, la mem.LineAddr, cls policy.AccessCla
 // Invalidate removes la from the set if present (flush or back-invalidation)
 // and reports whether it was present and dirty.
 func (c *Cache) Invalidate(setIdx int, la mem.LineAddr) (present, dirty bool) {
-	s := &c.sets[setIdx]
 	w, ok := c.Probe(setIdx, la)
 	if !ok {
 		return false, false
 	}
-	dirty = s.lines[w].Dirty
-	s.lines[w] = Line{}
-	s.state.OnInvalidate(w)
+	i := setIdx*c.cfg.Ways + w
+	dirty = c.meta[i]&metaDirty != 0
+	c.addrs[i] = 0
+	c.meta[i] = 0
+	c.ready[i] = 0
+	c.states[setIdx].OnInvalidate(w)
 	c.stats.Flushes++
 	return true, dirty
 }
@@ -221,7 +293,7 @@ func (c *Cache) Invalidate(setIdx int, la mem.LineAddr) (present, dirty bool) {
 // AgeOf returns the replacement-policy metadata value (age/rank) of one
 // way, for tracing. It does not mutate policy state and does not allocate.
 func (c *Cache) AgeOf(setIdx, way int) int {
-	return c.sets[setIdx].state.AgeAt(way)
+	return c.states[setIdx].AgeAt(way)
 }
 
 // View returns a copy of the set's lines plus the policy snapshot, for
@@ -231,19 +303,33 @@ type View struct {
 	Meta  []int
 }
 
+// lineAt materializes the Line view of one way.
+func (c *Cache) lineAt(i int) Line {
+	return Line{
+		Addr:          c.addrs[i],
+		Valid:         c.meta[i]&metaValid != 0,
+		Dirty:         c.meta[i]&metaDirty != 0,
+		Coh:           CohState(c.meta[i]&metaCohMask) >> metaCohShft,
+		InFlightUntil: c.ready[i],
+	}
+}
+
 // ViewSet captures the current contents of one set.
 func (c *Cache) ViewSet(setIdx int) View {
-	s := &c.sets[setIdx]
-	v := View{Lines: make([]Line, len(s.lines)), Meta: s.state.Snapshot()}
-	copy(v.Lines, s.lines)
+	v := View{Lines: make([]Line, c.cfg.Ways), Meta: c.states[setIdx].Snapshot()}
+	base := setIdx * c.cfg.Ways
+	for w := range v.Lines {
+		v.Lines[w] = c.lineAt(base + w)
+	}
 	return v
 }
 
 // Occupancy returns how many valid lines the set holds.
 func (c *Cache) Occupancy(setIdx int) int {
+	base := setIdx * c.cfg.Ways
 	n := 0
-	for _, l := range c.sets[setIdx].lines {
-		if l.Valid {
+	for w := 0; w < c.cfg.Ways; w++ {
+		if c.meta[base+w]&metaValid != 0 {
 			n++
 		}
 	}
@@ -256,19 +342,20 @@ func (c *Cache) Occupancy(setIdx int) int {
 // (first valid way holding the maximum age/rank), which matches the
 // quad-age and RRIP policies' behaviour after their aging passes.
 func (c *Cache) EvictionCandidate(setIdx int) (mem.LineAddr, bool) {
-	s := &c.sets[setIdx]
+	st := c.states[setIdx]
 	maxAge := -1
-	for w := range s.lines {
-		if m := s.state.AgeAt(w); m > maxAge {
+	for w := 0; w < c.cfg.Ways; w++ {
+		if m := st.AgeAt(w); m > maxAge {
 			maxAge = m
 		}
 	}
 	if maxAge < 0 {
 		return 0, false
 	}
-	for w := range s.lines {
-		if s.state.AgeAt(w) == maxAge && s.lines[w].Valid {
-			return s.lines[w].Addr, true
+	base := setIdx * c.cfg.Ways
+	for w := 0; w < c.cfg.Ways; w++ {
+		if st.AgeAt(w) == maxAge && c.meta[base+w]&metaValid != 0 {
+			return c.addrs[base+w], true
 		}
 	}
 	return 0, false

@@ -58,6 +58,23 @@ func SweepPar(platform hier.Config, run Runner, base Config, intervals []int64, 
 // registration order — and therefore the trace output — is independent of
 // the parallel schedule.
 func SweepTraced(platform hier.Config, run Runner, base Config, intervals []int64, bits int, seed int64, pf ParallelFor, tf func(i int) *trace.Tracer) SweepResult {
+	var trials sim.TrialFor
+	if pf != nil {
+		trials = func(n int, body func(i int, src sim.MachineSource)) {
+			pf(n, func(i int) { body(i, sim.Scalar()) })
+		}
+	}
+	return SweepBatch(platform, run, base, intervals, bits, seed, trials, tf)
+}
+
+// SweepBatch is the kernel-agnostic sweep: each point's machine is built
+// through the MachineSource its trial body receives, so the same sweep
+// runs on the scalar kernel (a plain loop or Parallel adapter), a
+// recycling serial kernel, or the batched lockstep kernel — with
+// byte-identical results, since every point uses the same platform, seed
+// and message regardless of how its machine was constructed. A nil trials
+// kernel runs the points serially on fresh machines.
+func SweepBatch(platform hier.Config, run Runner, base Config, intervals []int64, bits int, seed int64, trials sim.TrialFor, tf func(i int) *trace.Tracer) SweepResult {
 	if bits <= 0 {
 		panic(fmt.Errorf("channel: sweep bit count must be positive, got %d", bits))
 	}
@@ -72,19 +89,17 @@ func SweepTraced(platform hier.Config, run Runner, base Config, intervals []int6
 	}
 	msg := RandomMessage(bits, seed)
 	points := make([]Report, len(intervals))
-	body := func(i int) {
-		m := sim.MustNewMachine(platform, 1<<30, seed)
+	body := func(i int, src sim.MachineSource) {
+		m := src.NewMachine(platform, 1<<30, seed)
 		m.SetTracer(tracers[i])
 		cfg := base
 		cfg.Interval = intervals[i]
 		points[i], _ = run(m, cfg, msg)
 	}
-	if pf == nil {
-		for i := range intervals {
-			body(i)
-		}
+	if trials == nil {
+		sim.SerialTrials(len(intervals), body)
 	} else {
-		pf(len(intervals), body)
+		trials(len(intervals), body)
 	}
 	var out SweepResult
 	out.Points = points

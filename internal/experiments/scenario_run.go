@@ -214,8 +214,8 @@ func runSweepSpec(ctx *Context, s *scenario.Spec) (*Result, error) {
 		}
 		sws := make([]channel.SweepResult, len(s.Sweep.Channels))
 		for i, ch := range s.Sweep.Channels {
-			sws[i] = channel.SweepTraced(cfg, sweepRunner(ch.Channel), base, ch.Intervals,
-				bits, sub.SeedFor(ch.Channel), sub.Parallel, tf(ch.Channel, ch.Intervals))
+			sws[i] = channel.SweepBatch(cfg, sweepRunner(ch.Channel), base, ch.Intervals,
+				bits, sub.SeedFor(ch.Channel), sub.BatchTrials, tf(ch.Channel, ch.Intervals))
 		}
 		for _, sw := range sws {
 			sub.Printf("\n%s — %s\n", sw.Channel, sw.Platform)
@@ -256,13 +256,13 @@ func runLanesSpec(ctx *Context, s *scenario.Spec) (*Result, error) {
 	bits := ctx.Trials(sp.Bits)
 	rows := [][]string{}
 	reps := make([]channel.Report, len(sp.LaneCounts)*len(sp.Offsets))
-	ctx.Parallel(len(reps), func(cell int) {
+	ctx.BatchTrials(len(reps), func(cell int, src sim.MachineSource) {
 		lanes := sp.LaneCounts[cell/len(sp.Offsets)]
 		base := channelFor(s, cfg)
 		c := base
 		c.Interval = base.ProtocolOverhead + int64(lanes)*sp.LaneCost + sp.Offsets[cell%len(sp.Offsets)]
 		seed := ctx.SeedFor(fmt.Sprintf("lanes%d", lanes))
-		m := sim.MustNewMachine(cfg, 1<<30, seed)
+		m := src.NewMachine(cfg, 1<<30, seed)
 		reps[cell], _ = channel.RunNTPNTPLanes(m, c, lanes, channel.RandomMessage(bits, seed))
 	})
 	for li, lanes := range sp.LaneCounts {
@@ -304,7 +304,7 @@ func runNoiseSpec(ctx *Context, s *scenario.Spec) (*Result, error) {
 		residual float64
 	}
 	outs := make([]levelOut, len(sp.Periods))
-	ctx.Parallel(len(sp.Periods), func(pi int) {
+	ctx.BatchTrials(len(sp.Periods), func(pi int, src sim.MachineSource) {
 		c := base
 		c.NoisePeriod = sp.Periods[pi]
 		seed := ctx.SeedFor(fmt.Sprintf("noise%d", sp.Periods[pi]))
@@ -312,7 +312,7 @@ func runNoiseSpec(ctx *Context, s *scenario.Spec) (*Result, error) {
 		msg := channel.RandomMessage(bits, seed)
 
 		// Raw transmission.
-		m := sim.MustNewMachine(cfg, 1<<30, seed)
+		m := src.NewMachine(cfg, 1<<30, seed)
 		outs[pi].raw, _ = channel.RunNTPNTP(m, c, msg)
 
 		// Hamming(7,4)-protected transmission of the same payload,
@@ -320,7 +320,7 @@ func runNoiseSpec(ctx *Context, s *scenario.Spec) (*Result, error) {
 		// silences a stretch of '1's until the next noise event) land
 		// in distinct codewords.
 		enc := channel.Interleave(channel.EncodeHamming74(msg), sp.InterleaveDepth)
-		m2 := sim.MustNewMachine(cfg, 1<<30, seed)
+		m2 := src.NewMachine(cfg, 1<<30, seed)
 		_, encBits := channel.RunNTPNTP(m2, c, enc)
 		dec := channel.DecodeHamming74(channel.Deinterleave(encBits, sp.InterleaveDepth))
 		decErr := 0
@@ -395,7 +395,7 @@ func runFaultsSpec(ctx *Context, s *scenario.Spec) (*Result, error) {
 	// a scenario-derived seed, so cells shard across free workers and the
 	// result is schedule-independent. The seed key is "faults"+key
 	// regardless of the spec's ID (the ID already differentiates ctx.Seed).
-	ctx.Parallel(len(scenarios), func(si int) {
+	ctx.BatchTrials(len(scenarios), func(si int, src sim.MachineSource) {
 		sc := scenarios[si]
 		seedv := ctx.SeedFor("faults", sc.Key)
 		msg := channel.RandomMessage(rawBits, seedv)
@@ -403,7 +403,7 @@ func runFaultsSpec(ctx *Context, s *scenario.Spec) (*Result, error) {
 
 		// Raw channel under the scenario.
 		{
-			m := sim.MustNewMachine(cfg, 1<<30, seedv)
+			m := src.NewMachine(cfg, 1<<30, seedv)
 			m.SetTracer(ctx.Tracer(sc.Key, "raw"))
 			ep, err := channel.Setup(m, 2, 0)
 			if err != nil {
@@ -419,7 +419,7 @@ func runFaultsSpec(ctx *Context, s *scenario.Spec) (*Result, error) {
 		// Interleaved Hamming(7,4) over the same raw channel.
 		{
 			enc := channel.Interleave(channel.EncodeHamming74(msg), sp.InterleaveDepth)
-			m := sim.MustNewMachine(cfg, 1<<30, seedv)
+			m := src.NewMachine(cfg, 1<<30, seedv)
 			m.SetTracer(ctx.Tracer(sc.Key, "hamming"))
 			ep, err := channel.Setup(m, 2, 0)
 			if err != nil {
@@ -442,7 +442,7 @@ func runFaultsSpec(ctx *Context, s *scenario.Spec) (*Result, error) {
 		// ARQ transport under the same scenario.
 		{
 			payload := channel.RandomMessage(arqBits, seedv+1)
-			m := sim.MustNewMachine(cfg, 1<<30, seedv)
+			m := src.NewMachine(cfg, 1<<30, seedv)
 			m.SetTracer(ctx.Tracer(sc.Key, "arq"))
 			dx, err := channel.SetupDuplex(m)
 			if err != nil {

@@ -1,0 +1,111 @@
+package hier
+
+import (
+	"testing"
+
+	"leakyway/internal/mem"
+)
+
+func poolTestConfig(seed int64) Config {
+	return Config{
+		Name: "pool-test", Cores: 2, FreqGHz: 1,
+		L1Sets: 8, L1Ways: 4,
+		L2Sets: 16, L2Ways: 4,
+		LLCSlices: 2, LLCSetsPerSlice: 32, LLCWays: 8,
+		Lat:        DefaultLatency(),
+		HWPrefetch: HWPrefetchConfig{AdjacentLine: true, Stream: true},
+		Seed:       seed,
+	}
+}
+
+// opFingerprint drives a deterministic op sequence and records every
+// outcome; it is sensitive to any residual line, policy, prefetcher or RNG
+// state.
+func opFingerprint(h *Hierarchy, salt uint64) []int64 {
+	var fp []int64
+	now := int64(0)
+	for k := uint64(0); k < 200; k++ {
+		pa := mem.PAddr((salt + k*64*7) % (1 << 20))
+		var r Result
+		switch k % 4 {
+		case 0, 1:
+			r = h.Load(int(k%2), pa, now)
+		case 2:
+			r = h.Store(int(k%2), pa, now)
+		case 3:
+			r = h.Flush(pa, now)
+		}
+		now += r.Latency
+		fp = append(fp, int64(r.Level), r.Latency)
+	}
+	return fp
+}
+
+func TestPoolRecycleMatchesFresh(t *testing.T) {
+	fresh := MustNew(poolTestConfig(7))
+	want := opFingerprint(fresh, 1)
+
+	p := NewPool()
+	h1, err := p.Get(poolTestConfig(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	opFingerprint(h1, 99) // dirty every layer with an unrelated workload
+	p.Put(h1)
+
+	h2, err := p.Get(poolTestConfig(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h2 != h1 {
+		t.Fatalf("pool built a new hierarchy instead of recycling (same geometry)")
+	}
+	if h2.Config().Seed != 7 {
+		t.Fatalf("recycled hierarchy seed = %d, want 7", h2.Config().Seed)
+	}
+	got := opFingerprint(h2, 1)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("recycled hierarchy diverges from fresh at op-record %d: %d != %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestPoolKeysOnGeometry(t *testing.T) {
+	p := NewPool()
+	a, err := p.Get(poolTestConfig(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Put(a)
+	other := poolTestConfig(2)
+	other.LLCWays = 12
+	b, err := p.Get(other)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a == b {
+		t.Fatalf("pool recycled a hierarchy across different geometries")
+	}
+	// The original geometry is still pooled.
+	c, err := p.Get(poolTestConfig(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c != a {
+		t.Fatalf("pool did not recycle the idle same-geometry hierarchy")
+	}
+}
+
+func TestPoolPutForeignHierarchyIgnored(t *testing.T) {
+	p := NewPool()
+	h := MustNew(poolTestConfig(1))
+	p.Put(h) // not from this pool: must be ignored, not recycled
+	got, err := p.Get(poolTestConfig(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got == h {
+		t.Fatalf("pool recycled a hierarchy it never handed out")
+	}
+}

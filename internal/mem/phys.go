@@ -24,12 +24,25 @@ type PhysMem struct {
 	synth  uint64 // next synthetic frame for contiguous reservations
 }
 
-// NewPhysMem creates a pool with the given total size in bytes (rounded down
-// to whole pages), shuffled with the given seed.
-func NewPhysMem(totalBytes uint64, seed int64) *PhysMem {
+// FrameShuffle is the immutable shuffled free list for one (totalBytes,
+// seed) pair. Building it is the single most expensive step of machine
+// construction (a quarter-million-entry Fisher–Yates for a 1 GiB pool), yet
+// every machine with the same pool size and seed computes the identical
+// permutation — so sweeps that run many same-seed trials can compute it once
+// and share it. PhysMem only ever reads the frame list (allocation state
+// lives in the PhysMem, not here), which makes sharing safe even across
+// goroutines.
+type FrameShuffle struct {
+	frames []uint32
+}
+
+// NewFrameShuffle computes the shuffled frame list for a pool of totalBytes
+// (rounded down to whole pages) with the given seed. The permutation is
+// identical to the one NewPhysMem has always produced.
+func NewFrameShuffle(totalBytes uint64, seed int64) *FrameShuffle {
 	n := totalBytes / PageSize
 	if n > 1<<32 {
-		panic(fmt.Sprintf("mem: NewPhysMem(%d): pool exceeds 16 TiB frame limit", totalBytes))
+		panic(fmt.Sprintf("mem: NewFrameShuffle(%d): pool exceeds 16 TiB frame limit", totalBytes))
 	}
 	frames := make([]uint32, n)
 	for i := range frames {
@@ -39,7 +52,24 @@ func NewPhysMem(totalBytes uint64, seed int64) *PhysMem {
 	rng.Shuffle(len(frames), func(i, j int) {
 		frames[i], frames[j] = frames[j], frames[i]
 	})
-	return &PhysMem{frames: frames, synth: n}
+	return &FrameShuffle{frames: frames}
+}
+
+// Frames reports the pool capacity in frames.
+func (sh *FrameShuffle) Frames() int { return len(sh.frames) }
+
+// NewPhysMemFrom creates a fresh pool over a precomputed shuffle. The
+// returned PhysMem behaves exactly like NewPhysMem(totalBytes, seed) for the
+// shuffle's parameters: allocation order is the shuffle order, and the
+// shared frame list is never written.
+func NewPhysMemFrom(sh *FrameShuffle) *PhysMem {
+	return &PhysMem{frames: sh.frames, synth: uint64(len(sh.frames))}
+}
+
+// NewPhysMem creates a pool with the given total size in bytes (rounded down
+// to whole pages), shuffled with the given seed.
+func NewPhysMem(totalBytes uint64, seed int64) *PhysMem {
+	return NewPhysMemFrom(NewFrameShuffle(totalBytes, seed))
 }
 
 // TotalFrames reports the pool capacity in frames.

@@ -59,6 +59,13 @@ func (s *bitPLRUSet) OnHit(way int, _ AccessClass) { s.touch(way) }
 // OnInvalidate implements SetState.
 func (s *bitPLRUSet) OnInvalidate(way int) { s.mru[way] = false }
 
+// Reset implements SetState.
+func (s *bitPLRUSet) Reset() {
+	for i := range s.mru {
+		s.mru[i] = false
+	}
+}
+
 // AgeAt implements SetState: 1 for MRU bits.
 func (s *bitPLRUSet) AgeAt(way int) int {
 	if s.mru[way] {

@@ -53,6 +53,14 @@ func (s *lruSet) OnHit(way int, _ AccessClass) { s.touch(way) }
 // OnInvalidate implements SetState.
 func (s *lruSet) OnInvalidate(way int) { s.stamp[way] = -1 }
 
+// Reset implements SetState.
+func (s *lruSet) Reset() {
+	s.clock = 0
+	for i := range s.stamp {
+		s.stamp[i] = -1
+	}
+}
+
 // AgeAt implements SetState: recency rank, 0 = most recent.
 func (s *lruSet) AgeAt(way int) int {
 	rank := 0

@@ -89,4 +89,11 @@ type SetState interface {
 	// Snapshot exposes per-way metadata (ages/ranks) for tracing. The
 	// meaning is policy-specific; -1 marks "no meaningful value".
 	Snapshot() []int
+	// Reset restores the state to exactly what NewSet returned, without
+	// allocating — the cache-arena recycling path (sim.BatchMachine) calls
+	// it instead of rebuilding per-set state for every Monte-Carlo trial.
+	// Stateful policies must also rewind any internal randomness to its
+	// initial stream so a recycled set is indistinguishable from a fresh
+	// one.
+	Reset()
 }

@@ -146,6 +146,13 @@ func (s *quadAgeSet) OnInvalidate(way int) {
 // AgeAt implements SetState.
 func (s *quadAgeSet) AgeAt(way int) int { return int(s.ages[way]) }
 
+// Reset implements SetState.
+func (s *quadAgeSet) Reset() {
+	for i := range s.ages {
+		s.ages[i] = -1
+	}
+}
+
 // Snapshot implements SetState; it returns the raw ages.
 func (s *quadAgeSet) Snapshot() []int {
 	out := make([]int, len(s.ages))

@@ -16,11 +16,12 @@ func (*Random) Name() string { return "random" }
 
 // NewSet implements Policy.
 func (p *Random) NewSet(ways int) SetState {
-	return &randomSet{ways: ways, rng: rand.New(rand.NewSource(p.Seed))}
+	return &randomSet{ways: ways, seed: p.Seed, rng: rand.New(rand.NewSource(p.Seed))}
 }
 
 type randomSet struct {
 	ways int
+	seed int64
 	rng  *rand.Rand
 }
 
@@ -61,6 +62,10 @@ func (*randomSet) OnInvalidate(int) {}
 
 // AgeAt implements SetState.
 func (*randomSet) AgeAt(int) int { return 0 }
+
+// Reset implements SetState: rewind the victim stream to its seed so a
+// recycled set draws the same eviction sequence as a fresh one.
+func (s *randomSet) Reset() { s.rng.Seed(s.seed) }
 
 // Snapshot implements SetState.
 func (s *randomSet) Snapshot() []int { return make([]int, s.ways) }

@@ -86,6 +86,13 @@ func (s *srripSet) OnHit(way int, _ AccessClass) {
 // OnInvalidate implements SetState.
 func (s *srripSet) OnInvalidate(way int) { s.rrpv[way] = -1 }
 
+// Reset implements SetState.
+func (s *srripSet) Reset() {
+	for i := range s.rrpv {
+		s.rrpv[i] = -1
+	}
+}
+
 // AgeAt implements SetState: the raw RRPV.
 func (s *srripSet) AgeAt(way int) int { return s.rrpv[way] }
 

@@ -97,6 +97,13 @@ func (s *treePLRUSet) OnHit(way int, _ AccessClass) { s.touch(way) }
 // victim.
 func (s *treePLRUSet) OnInvalidate(int) {}
 
+// Reset implements SetState.
+func (s *treePLRUSet) Reset() {
+	for i := range s.node {
+		s.node[i] = false
+	}
+}
+
 // AgeAt implements SetState: 1 for the victim-path leaf, 0 elsewhere.
 func (s *treePLRUSet) AgeAt(way int) int {
 	if s.victimLeaf() == way {

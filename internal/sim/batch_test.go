@@ -1,0 +1,239 @@
+package sim
+
+import (
+	"reflect"
+	"runtime"
+	"testing"
+	"time"
+
+	"leakyway/internal/hier"
+	"leakyway/internal/mem"
+)
+
+// batchTestConfig enables the hardware prefetchers so the equivalence
+// trials cover the stream-table state the hierarchy reset must rewind.
+func batchTestConfig() hier.Config {
+	cfg := testConfig()
+	cfg.HWPrefetch = hier.HWPrefetchConfig{AdjacentLine: true, Stream: true}
+	return cfg
+}
+
+// equivalenceTrial is one Monte-Carlo trial with enough moving parts to
+// expose any divergence between the scalar and batched kernels: two
+// interacting agents with timed loads, non-temporal prefetches, flushes and
+// fences; staged faults (preemption, timer spikes, clock drift); the
+// hardware prefetchers; and a second machine per trial so the
+// hierarchy-recycling path runs mid-trial. The returned fingerprint is the
+// exact sequence of observed latencies and clock checkpoints — any
+// scheduling, RNG or cache-state difference shifts at least one entry.
+func equivalenceTrial(i int, src MachineSource) []int64 {
+	cfg := batchTestConfig()
+	seed := int64(1009*i + 31)
+	var fp []int64
+
+	m := src.NewMachine(cfg, 1<<24, seed)
+	m.SchedulePreempt("a", 500, 700)
+	m.ScheduleTimerSpike("b", 800, 4000, 9, seed)
+	m.SetClockDrift("b", 120)
+	m.Spawn("a", 0, nil, func(c *Core) {
+		buf := c.Alloc(4 * mem.PageSize)
+		for k := 0; k < 32; k++ {
+			fp = append(fp, c.TimedLoad(buf+mem.VAddr((k%13)*64)))
+		}
+		c.Fence()
+		for k := 0; k < 8; k++ {
+			fp = append(fp, c.TimedFlush(buf+mem.VAddr(k*64)))
+		}
+		fp = append(fp, c.Now())
+	})
+	m.Spawn("b", 1, nil, func(c *Core) {
+		buf := c.Alloc(4 * mem.PageSize)
+		for k := 0; k < 24; k++ {
+			fp = append(fp, c.TimedPrefetchNTA(buf+mem.VAddr((k%7)*64)))
+			if k%5 == 0 {
+				c.Spin(37)
+			}
+		}
+		r := c.Load(buf)
+		fp = append(fp, int64(r.Level), r.Latency, c.Now())
+	})
+	m.Run()
+
+	// Second machine in the same trial: under the batch kernel this
+	// recycles the first machine's hierarchy, so an incomplete reset shows
+	// up as a fingerprint difference against the scalar kernel.
+	m2 := src.NewMachine(cfg, 1<<24, seed^0x5a5a)
+	m2.Spawn("walker", 0, nil, func(c *Core) {
+		buf := c.Alloc(8 * mem.PageSize)
+		for k := 0; k < 48; k++ {
+			fp = append(fp, c.TimedLoad(buf+mem.VAddr(k*64)))
+		}
+		fp = append(fp, c.Now())
+	})
+	m2.Run()
+	return fp
+}
+
+func runEquivalenceTrials(n int, tf TrialFor) [][]int64 {
+	fps := make([][]int64, n)
+	tf(n, func(i int, src MachineSource) {
+		fps[i] = equivalenceTrial(i, src)
+	})
+	return fps
+}
+
+func TestBatchScalarEquivalence(t *testing.T) {
+	const n = 10
+	want := runEquivalenceTrials(n, SerialTrials)
+	for _, width := range []int{1, 3, 8} {
+		got := runEquivalenceTrials(n, func(n int, body func(i int, src MachineSource)) {
+			RunBatch(n, width, NewArena(), body)
+		})
+		for i := range want {
+			if !reflect.DeepEqual(got[i], want[i]) {
+				t.Fatalf("width %d: trial %d fingerprint diverges from scalar (lengths %d vs %d)",
+					width, i, len(got[i]), len(want[i]))
+			}
+		}
+	}
+	// The global arena pool must not change results either.
+	ar := AcquireArena()
+	got := runEquivalenceTrials(n, func(n int, body func(i int, src MachineSource)) {
+		RunBatch(n, 4, ar, body)
+	})
+	ReleaseArena(ar)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("global-arena batch run diverges from scalar")
+	}
+}
+
+func TestBatchRecyclesHierarchies(t *testing.T) {
+	const n, width = 12, 3
+	ar := NewArena()
+	hs := make([]*hier.Hierarchy, n)
+	RunBatch(n, width, ar, func(i int, src MachineSource) {
+		m := src.NewMachine(batchTestConfig(), 1<<24, int64(i))
+		hs[i] = m.H
+		m.Spawn("a", 0, nil, func(c *Core) {
+			buf := c.Alloc(mem.PageSize)
+			c.Load(buf)
+		})
+		m.Run()
+	})
+	distinct := map[*hier.Hierarchy]bool{}
+	for _, h := range hs {
+		distinct[h] = true
+	}
+	// Each of the width slots builds one hierarchy and recycles it for its
+	// remaining trials.
+	if len(distinct) != width {
+		t.Fatalf("batch of %d trials over %d slots built %d hierarchies; want %d",
+			n, width, len(distinct), width)
+	}
+}
+
+func TestBatchPanicAbortsFleet(t *testing.T) {
+	before := runtime.NumGoroutine()
+	func() {
+		defer func() {
+			r := recover()
+			ae, ok := r.(*AgentError)
+			if !ok {
+				t.Fatalf("recovered %T %v; want *AgentError", r, r)
+			}
+			if ae.Agent != "bomb" {
+				t.Fatalf("AgentError.Agent = %q, want %q", ae.Agent, "bomb")
+			}
+		}()
+		RunBatch(9, 3, NewArena(), func(i int, src MachineSource) {
+			m := src.NewMachine(batchTestConfig(), 1<<24, int64(i))
+			name := "worker"
+			if i == 4 {
+				name = "bomb"
+			}
+			m.Spawn(name, 0, nil, func(c *Core) {
+				buf := c.Alloc(mem.PageSize)
+				for k := 0; k < 100; k++ {
+					c.Load(buf + mem.VAddr((k%16)*64))
+				}
+				if i == 4 {
+					panic("boom")
+				}
+			})
+			// A long-lived daemon on every machine: the abort path must
+			// tear these down or their goroutines leak.
+			m.SpawnDaemon("noise", 1, nil, func(c *Core) {
+				buf := c.Alloc(mem.PageSize)
+				for {
+					c.Load(buf)
+					c.Spin(50)
+				}
+			})
+			m.Run()
+		})
+		t.Fatalf("RunBatch returned; want panic")
+	}()
+	// All slot and agent goroutines must be gone once the panic surfaces.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if g := runtime.NumGoroutine(); g <= before {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines leaked after batch abort: %d before, %d after",
+				before, runtime.NumGoroutine())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func TestRunBatchDegenerateWidths(t *testing.T) {
+	want := runEquivalenceTrials(3, SerialTrials)
+	for _, width := range []int{0, 1} {
+		got := runEquivalenceTrials(3, func(n int, body func(i int, src MachineSource)) {
+			RunBatch(n, width, nil, body)
+		})
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("width %d serial fallback diverges from scalar", width)
+		}
+	}
+	// n <= 0 must be a no-op, not a hang.
+	RunBatch(0, 4, nil, func(i int, src MachineSource) {
+		t.Fatalf("body called for n=0")
+	})
+}
+
+// FuzzBatchScalarEquivalence drives randomized seeds and widths through
+// both kernels and requires identical fingerprints.
+func FuzzBatchScalarEquivalence(f *testing.F) {
+	f.Add(int64(42), uint8(3))
+	f.Add(int64(-7), uint8(1))
+	f.Add(int64(1<<40), uint8(8))
+	f.Fuzz(func(t *testing.T, seed int64, width uint8) {
+		w := int(width%8) + 1
+		const n = 4
+		trial := func(i int, src MachineSource) []int64 {
+			cfg := batchTestConfig()
+			s := seed + int64(i)*911
+			var fp []int64
+			m := src.NewMachine(cfg, 1<<24, s)
+			m.ScheduleTimerSpike("a", 300, 3000, 7, s)
+			m.Spawn("a", 0, nil, func(c *Core) {
+				buf := c.Alloc(2 * mem.PageSize)
+				for k := 0; k < 24; k++ {
+					fp = append(fp, c.TimedLoad(buf+mem.VAddr((k%9)*64)))
+				}
+				fp = append(fp, c.Now())
+			})
+			m.Run()
+			return fp
+		}
+		want := make([][]int64, n)
+		SerialTrials(n, func(i int, src MachineSource) { want[i] = trial(i, src) })
+		got := make([][]int64, n)
+		RunBatch(n, w, NewArena(), func(i int, src MachineSource) { got[i] = trial(i, src) })
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("batched fingerprints diverge from scalar (seed=%d width=%d)", seed, w)
+		}
+	})
+}
